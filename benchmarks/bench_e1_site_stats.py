@@ -1,0 +1,103 @@
+"""E1 -- section 5.1 site statistics ("Table 1" of the experience report).
+
+The paper reports, per site: query lines, number of templates, template
+lines, and scale (people / articles / pages).  We rebuild each site shape
+with synthetic data at the paper's scale and print our measurements next
+to the reported ones.
+
+Paper-reported values:
+
+=================  ===========  =========  ==============  =======
+site               query lines  templates  template lines  scale
+AT&T internal      115          17         380             ~400 people, 5 sources
+AT&T external      +0           5 changed  --              same site graph
+mff homepage       48           13         202             2 sources
+CNN demo           44           9          --              ~300 articles
+=================  ===========  =========  ==============  =======
+"""
+
+import pytest
+
+from repro import SiteBuilder, SiteDefinition
+from repro.workloads import (
+    HOMEPAGE_QUERY,
+    NEWS_SITE_QUERY,
+    bibliography_graph,
+    build_mediator,
+    homepage_templates,
+    news_graph,
+    news_templates,
+)
+
+# import the example org-site definition (shared shape)
+import importlib.util
+import os
+
+_ORG = os.path.join(os.path.dirname(__file__), os.pardir, "examples", "org_site.py")
+_spec = importlib.util.spec_from_file_location("org_site_example", _ORG)
+org_site = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(org_site)
+
+PAPER_ROWS = [
+    {"site": "AT&T internal (paper)", "query lines": 115, "link clauses": "n/a",
+     "templates": 17, "template lines": 380, "pages": "~420", "sources": 5},
+    {"site": "mff homepage (paper)", "query lines": 48, "link clauses": "n/a",
+     "templates": 13, "template lines": 202, "pages": "n/a", "sources": 2},
+    {"site": "CNN demo (paper)", "query lines": 44, "link clauses": "n/a",
+     "templates": 9, "template lines": "n/a", "pages": "~300 articles", "sources": 1},
+]
+
+
+def _build_org(people: int):
+    mediator = build_mediator(people=people, seed=5)
+    data = mediator.materialize()
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition(
+            "AT&T-shape internal", org_site.ORG_SITE_QUERY,
+            org_site.build_templates(org_site.INTERNAL_PERSON),
+            roots=["OrgRoot()"],
+        )
+    )
+    return builder.build("AT&T-shape internal"), len(mediator.last_report.source_sizes)
+
+
+def _build_homepage(publications: int):
+    data = bibliography_graph(publications, seed=7)
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition("mff-shape homepage", HOMEPAGE_QUERY,
+                       homepage_templates(), roots=["RootPage()"])
+    )
+    return builder.build("mff-shape homepage"), 2
+
+
+def _build_news(articles: int):
+    data = news_graph(articles, seed=7)
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition("CNN-shape demo", NEWS_SITE_QUERY,
+                       news_templates(), roots=["FrontPage()"])
+    )
+    return builder.build("CNN-shape demo"), 1
+
+
+@pytest.mark.parametrize(
+    "label, build, scale",
+    [
+        ("org", _build_org, 400),
+        ("homepage", _build_homepage, 40),
+        ("news", _build_news, 300),
+    ],
+    ids=["att-internal-400-people", "mff-homepage", "cnn-300-articles"],
+)
+def test_e1_site_statistics(benchmark, report, label, build, scale):
+    built, sources = benchmark.pedantic(build, args=(scale,), rounds=1, iterations=1)
+    measured = built.stats(sources=sources).as_row()
+    measured["site"] = f"{measured['site']} (ours)"
+    report(f"E1_{label}", PAPER_ROWS + [measured],
+           note="Shape check: our query/template sizes should sit in the same "
+                "range as the paper's; absolute page counts depend on the "
+                "synthetic data.")
+    assert built.generated.page_count > 0
+    assert built.generated.dangling_links() == []

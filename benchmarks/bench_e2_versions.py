@@ -1,0 +1,130 @@
+"""E2 -- the multiple-versions economy (sections 5.1 / 6.1).
+
+Paper claims:
+
+* AT&T external site: "no new queries were written for that site ...
+  only five HTML template files differ" (we use a smaller template set,
+  so ours differs in one of five);
+* CNN sports-only: the query "only differs in two extra predicates in
+  one where clause; both sites use the same templates";
+* template-only versions share one site graph, so re-rendering a new
+  version is much cheaper than rebuilding from the data.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro import SiteBuilder, SiteDefinition, derive_version, diff_definitions
+from repro.workloads import (
+    NEWS_SITE_QUERY,
+    SPORTS_SITE_QUERY,
+    build_mediator,
+    news_graph,
+    news_templates,
+)
+
+_ORG = os.path.join(os.path.dirname(__file__), os.pardir, "examples", "org_site.py")
+_spec = importlib.util.spec_from_file_location("org_site_example_e2", _ORG)
+org_site = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(org_site)
+
+PAPER_ROWS = [
+    {"derivation": "AT&T internal -> external (paper)",
+     "query lines +": 0, "templates changed": "5 of 17", "templates shared": 12},
+    {"derivation": "CNN general -> sports-only (paper)",
+     "query lines +": "2 predicates / 1 clause", "templates changed": 0,
+     "templates shared": 9},
+]
+
+
+def test_e2_org_external_version(benchmark, report):
+    data = build_mediator(people=150, seed=5).materialize()
+    builder = SiteBuilder(data)
+    internal = builder.define(
+        SiteDefinition("internal", org_site.ORG_SITE_QUERY,
+                       org_site.build_templates(org_site.INTERNAL_PERSON),
+                       roots=["OrgRoot()"])
+    )
+    external = builder.define(
+        derive_version(internal, "external",
+                       template_overrides={"person": org_site.EXTERNAL_PERSON})
+    )
+    site_graph = builder.site_graph("internal")
+
+    def rebuild_from_data():
+        return builder.build("internal")
+
+    def rerender_only():
+        return builder.build("external", site_graph=site_graph)
+
+    rerendered = benchmark.pedantic(rerender_only, rounds=3, iterations=1)
+    diff = diff_definitions(internal, external)
+    measured = diff.as_row()
+    measured["derivation"] = "AT&T-shape internal -> external (ours)"
+    measured["templates changed"] = f"{diff.templates_changed} of " \
+        f"{diff.templates_changed + diff.templates_shared}"
+    report("E2_versions_org", PAPER_ROWS + [measured],
+           note="0 new query lines, template-only delta: matches the paper.")
+    assert diff.query_lines_added == 0
+    assert rerendered.generated.page_count > 0
+
+
+def test_e2_news_sports_version(report, benchmark):
+    data = news_graph(150, seed=5)
+    builder = SiteBuilder(data)
+    general = builder.define(
+        SiteDefinition("news", NEWS_SITE_QUERY, news_templates(),
+                       roots=["FrontPage()"])
+    )
+    sports = builder.define(
+        derive_version(general, "sports", query=SPORTS_SITE_QUERY)
+    )
+    built_sports = benchmark.pedantic(
+        lambda: builder.build("sports"), rounds=1, iterations=1
+    )
+    diff = diff_definitions(general, sports)
+    measured = diff.as_row()
+    measured["derivation"] = "CNN-shape general -> sports-only (ours)"
+    report("E2_versions_news", PAPER_ROWS + [measured],
+           note="One where clause changed (two extra predicates), all nine "
+                "templates shared: matches the paper.")
+    assert diff.query_lines_added == 1 and diff.query_lines_removed == 1
+    assert diff.templates_changed == 0
+    assert built_sports.generated.page_count > 0
+
+
+def test_e2_rerender_cheaper_than_rebuild(report, benchmark):
+    import time
+
+    data = build_mediator(people=150, seed=5).materialize()
+    builder = SiteBuilder(data)
+    internal = builder.define(
+        SiteDefinition("internal", org_site.ORG_SITE_QUERY,
+                       org_site.build_templates(org_site.INTERNAL_PERSON),
+                       roots=["OrgRoot()"])
+    )
+    builder.define(
+        derive_version(internal, "external",
+                       template_overrides={"person": org_site.EXTERNAL_PERSON})
+    )
+    start = time.perf_counter()
+    builder.build("internal")
+    full = time.perf_counter() - start
+    site_graph = builder.site_graph("internal")
+    start = time.perf_counter()
+    benchmark.pedantic(
+        lambda: builder.build("external", site_graph=site_graph),
+        rounds=1, iterations=1,
+    )
+    rerender = time.perf_counter() - start
+    report(
+        "E2_rerender_cost",
+        [
+            {"path": "full rebuild (query + render)", "seconds": round(full, 4)},
+            {"path": "re-render shared site graph", "seconds": round(rerender, 4)},
+        ],
+        note="Template-only versions skip query evaluation entirely.",
+    )
+    assert rerender < full

@@ -1,0 +1,107 @@
+"""E4 -- the section 2.3 homepage pipeline: site-graph shape and scaling.
+
+Fig. 4 of the paper shows the site graph generated from the bibliography
+data graph: one RootPage and AbstractsPage, one PaperPresentation and
+AbstractPage per publication, one YearPage per distinct year, one
+CategoryPage per category.  We verify that shape and measure end-to-end
+generation time as the bibliography grows (the paper reports no numbers;
+the claim under test is that static generation is cheap at the paper's
+scales and grows roughly linearly).
+"""
+
+import time
+
+import pytest
+
+from repro import SiteBuilder, SiteDefinition
+from repro.struql import evaluate, parse
+from repro.workloads import HOMEPAGE_QUERY, bibliography_graph, homepage_templates
+
+SIZES = [10, 50, 200, 500]
+
+
+def _page_type_counts(site_graph):
+    counts = {}
+    for oid in site_graph.nodes():
+        function = oid.name.split("(", 1)[0]
+        counts[function] = counts.get(function, 0) + 1
+    return counts
+
+
+def test_e4_site_graph_shape(report, benchmark):
+    data = bibliography_graph(100, seed=20)
+    program = parse(HOMEPAGE_QUERY)
+    site_graph = benchmark.pedantic(
+        lambda: evaluate(program, data), rounds=3, iterations=1
+    )
+    counts = _page_type_counts(site_graph)
+    distinct_years = {
+        str(t) for _, t in data.edges_with_label("year")
+    }
+    distinct_categories = {
+        str(t) for _, t in data.edges_with_label("category")
+    }
+    rows = [
+        {"page type": "RootPage", "expected": 1, "measured": counts["RootPage"]},
+        {"page type": "AbstractsPage", "expected": 1,
+         "measured": counts["AbstractsPage"]},
+        {"page type": "PaperPresentation", "expected": 100,
+         "measured": counts["PaperPresentation"]},
+        {"page type": "AbstractPage", "expected": 100,
+         "measured": counts["AbstractPage"]},
+        {"page type": "YearPage", "expected": len(distinct_years),
+         "measured": counts["YearPage"]},
+        {"page type": "CategoryPage", "expected": len(distinct_categories),
+         "measured": counts["CategoryPage"]},
+    ]
+    report("E4_site_graph_shape", rows,
+           note="Fig. 4 shape: one presentation+abstract page per "
+                "publication, one page per distinct year/category.")
+    for row in rows:
+        assert row["expected"] == row["measured"], row
+
+
+def test_e4_end_to_end_scaling(report, benchmark):
+    rows = []
+    for size in SIZES:
+        data = bibliography_graph(size, seed=21)
+        builder = SiteBuilder(data)
+        builder.define(
+            SiteDefinition("home", HOMEPAGE_QUERY, homepage_templates(),
+                           roots=["RootPage()"])
+        )
+        start = time.perf_counter()
+        site_graph = builder.site_graph("home")
+        query_time = time.perf_counter() - start
+        start = time.perf_counter()
+        built = builder.build("home", site_graph=site_graph)
+        render_time = time.perf_counter() - start
+        rows.append(
+            {
+                "publications": size,
+                "site nodes": site_graph.node_count,
+                "site edges": site_graph.edge_count,
+                "pages": built.generated.page_count,
+                "query s": round(query_time, 3),
+                "render s": round(render_time, 3),
+            }
+        )
+    report("E4_homepage_scaling", rows,
+           note="Both stages should grow roughly linearly in the number of "
+                "publications (pages per pub is constant).")
+    # roughly linear: 50x data should not cost more than ~250x time
+    small = rows[0]
+    large = rows[-1]
+    data_factor = large["publications"] / small["publications"]
+    time_factor = (large["query s"] + large["render s"]) / max(
+        small["query s"] + small["render s"], 1e-9
+    )
+    assert time_factor < data_factor * 6
+    # one more timed run for the benchmark table
+    data = bibliography_graph(200, seed=22)
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition("home", HOMEPAGE_QUERY, homepage_templates(),
+                       roots=["RootPage()"])
+    )
+    benchmark.pedantic(lambda: builder.build("home"), rounds=1, iterations=1)

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""The bilingual-site example (the paper's INRIA-Rodin site, section 5.1):
+"the site has two views: one English and one French.  The two views are
+cross-linked, so that each English page is linked to the equivalent page
+in the French site and vice versa.  One STRUQL query defines both views
+and creates the links between them."
+
+The data graph stores both languages per project (title_en/title_fr,
+summary_en/summary_fr); a single query creates EnPage(x) and FrPage(x)
+per project plus the cross links, and each language has its own root.
+
+Run:  python examples/bilingual_site.py [output-dir]
+"""
+
+import sys
+
+from repro import DdlWrapper, SiteBuilder, SiteDefinition, TemplateSet
+from repro.core import check
+
+PROJECT_DATA = """
+collection Projects
+
+object verso {
+  name: "verso"
+  title_en: "The Verso Project"
+  title_fr: "Le projet Verso"
+  summary_en: "Database research on semistructured data."
+  summary_fr: "Recherche en bases de donnees semi-structurees."
+}
+object rodin {
+  name: "rodin"
+  title_en: "The Rodin Project"
+  title_fr: "Le projet Rodin"
+  summary_en: "Heterogeneous data integration."
+  summary_fr: "Integration de donnees heterogenes."
+}
+object caravel {
+  name: "caravel"
+  title_en: "The Caravel Project"
+  title_fr: "Le projet Caravel"
+  summary_en: "Web-site management systems."
+  summary_fr: "Systemes de gestion de sites Web."
+}
+member Projects: verso, rodin, caravel
+"""
+
+# One query, both views, cross-linked (the "equivalent" edges).
+BILINGUAL_QUERY = """
+create EnRoot(), FrRoot()
+link EnRoot() -> "equivalent" -> FrRoot(),
+     FrRoot() -> "equivalent" -> EnRoot()
+where Projects(x), x -> "title_en" -> te, x -> "title_fr" -> tf
+create EnPage(x), FrPage(x)
+link EnPage(x) -> "title" -> te,
+     FrPage(x) -> "title" -> tf,
+     EnPage(x) -> "equivalent" -> FrPage(x),
+     FrPage(x) -> "equivalent" -> EnPage(x),
+     EnRoot() -> "Project" -> EnPage(x),
+     FrRoot() -> "Projet" -> FrPage(x)
+collect EnPages(EnPage(x)), FrPages(FrPage(x))
+where Projects(x), x -> "summary_en" -> s
+link EnPage(x) -> "summary" -> s
+where Projects(x), x -> "summary_fr" -> s
+link FrPage(x) -> "summary" -> s
+"""
+
+
+def build_templates() -> TemplateSet:
+    templates = TemplateSet()
+    templates.add("en_root", """<html><head><title>Projects</title></head><body>
+<h1>Research Projects</h1>
+<p><SFMT equivalent> (version francaise)</p>
+<SFMT Project UL ORDER=ascend KEY=title>
+</body></html>
+""")
+    templates.add("fr_root", """<html><head><title>Projets</title></head><body>
+<h1>Projets de recherche</h1>
+<p><SFMT equivalent> (English version)</p>
+<SFMT Projet UL ORDER=ascend KEY=title>
+</body></html>
+""")
+    templates.add("en_page", """<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<p><SFMT summary></p>
+<p>Version francaise: <SFMT equivalent></p>
+</body></html>
+""")
+    templates.add("fr_page", """<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<p><SFMT summary></p>
+<p>English version: <SFMT equivalent></p>
+</body></html>
+""")
+    templates.for_object("EnRoot()", "en_root")
+    templates.for_object("FrRoot()", "fr_root")
+    templates.for_collection("EnPages", "en_page")
+    templates.for_collection("FrPages", "fr_page")
+    return templates
+
+
+def main(output_dir: str = "_out/bilingual") -> None:
+    data = DdlWrapper(PROJECT_DATA).wrap()
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition(
+            "bilingual",
+            BILINGUAL_QUERY,
+            build_templates(),
+            roots=["EnRoot()", "FrRoot()"],
+            constraints=[
+                # every English page has a French equivalent, and back
+                'forall X (EnPages(X) => exists Y (FrPages(Y) and X -> "equivalent" -> Y))',
+                'forall X (FrPages(X) => exists Y (EnPages(Y) and X -> "equivalent" -> Y))',
+            ],
+        )
+    )
+    built = builder.build("bilingual")
+    print(f"site graph: {built.site_graph.stats()}")
+    print(f"pages: {built.generated.page_count} "
+          f"(both language views from one query)")
+    for constraint, result in built.constraint_results.items():
+        print(f"constraint holds={bool(result)}: {constraint}")
+    english_root = built.pages["index.html"]
+    print("english root cross-links french:",
+          "version francaise" in english_root)
+    built.write(output_dir)
+    print(f"wrote {built.generated.page_count} pages under {output_dir}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Personal homepage with internal and external versions (the paper's
+"mff" example, section 5.1).
+
+Two data sources -- a BibTeX bibliography and a Strudel DDL file with
+personal information (address, projects, patents) -- are integrated by
+the mediator.  The *internal* version shows everything; the *external*
+version is derived by changing only HTML templates: patents and
+proprietary projects disappear, exactly the paper's "the HTML templates
+for the external version exclude patents, and any publications and
+projects that are proprietary".
+
+Run:  python examples/homepage_site.py [output-dir]
+"""
+
+import sys
+
+from repro import (
+    BibtexWrapper,
+    DdlWrapper,
+    Mediator,
+    SiteBuilder,
+    SiteDefinition,
+    TemplateSet,
+    derive_version,
+    diff_definitions,
+)
+from repro.workloads import generate_entries
+
+PERSONAL_DDL = """
+collection Personal
+collection Projects
+collection Patents
+
+object me {
+  name: "Mary Fernandez"
+  address: "180 Park Avenue, Florham Park, NJ"
+  phone: "+1 973 360 0000"
+  email: "mff@research.example.com"
+}
+member Personal: me
+
+object proj1 {
+  title: "Strudel"
+  synopsis: "A Web-site management system."
+  status: "public"
+}
+object proj2 {
+  title: "Internal data integration"
+  synopsis: "Proprietary middleware."
+  status: "proprietary"
+}
+member Projects: proj1, proj2
+
+object pat1 {
+  title: "Method for declarative site specification"
+  number: 999999
+}
+member Patents: pat1
+"""
+
+SITE_QUERY = """
+// homepage: root page + publications page, projects and patents inline
+create HomePage(), PubsPage()
+link HomePage() -> "Publications" -> PubsPage()
+where Personal(m), m -> l -> v
+link HomePage() -> l -> v
+where Projects(j)
+link HomePage() -> "Project" -> j
+where Patents(t)
+link HomePage() -> "Patent" -> t
+where Publications(x), x -> l -> v
+create Pub(x)
+link Pub(x) -> l -> v,
+     PubsPage() -> "Paper" -> Pub(x)
+collect Pubs(Pub(x))
+"""
+
+INTERNAL_HOME = """<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<p><SFMT address><br><SFMT phone><br><SFMT email></p>
+<h2>Projects</h2>
+<SFOR j IN Project><p><b><SFMT @j.title></b>: <SFMT @j.synopsis>
+(<SFMT @j.status>)</p></SFOR>
+<h2>Patents</h2>
+<SFOR t IN Patent><p><SFMT @t.title> (#<SFMT @t.number>)</p></SFOR>
+<p><SFMT Publications></p>
+</body></html>
+"""
+
+# External: no patents section, proprietary projects filtered by SIF.
+EXTERNAL_HOME = """<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<p><SFMT email></p>
+<h2>Projects</h2>
+<SFOR j IN Project><SIF @j.status = "public"><p><b><SFMT @j.title></b>:
+<SFMT @j.synopsis></p></SIF></SFOR>
+<p><SFMT Publications></p>
+</body></html>
+"""
+
+PUBS_PAGE = """<html><head><title>Publications</title></head><body>
+<h1>Publications</h1>
+<SFMT Paper UL ORDER=descend KEY=year>
+</body></html>
+"""
+
+PUB = """<b><SFMT title></b> (<SFMT year>), <SFMT author ENUM DELIM=", ">
+<SIF journal> &mdash; <i><SFMT journal></i></SIF>
+<SIF booktitle> &mdash; <i><SFMT booktitle></i></SIF>
+"""
+
+
+def build_templates(home_text: str) -> TemplateSet:
+    templates = TemplateSet()
+    templates.add("home", home_text)
+    templates.add("pubspage", PUBS_PAGE)
+    templates.add("pub", PUB)
+    templates.for_object("HomePage()", "home")
+    templates.for_object("PubsPage()", "pubspage")
+    templates.for_collection("Pubs", "pub")
+    return templates
+
+
+def main(output_dir: str = "_out/homepage") -> None:
+    # integrate the two sources
+    mediator = Mediator()
+    mediator.add_source("bib", BibtexWrapper(generate_entries(12, seed=7)))
+    mediator.add_source("ddl", DdlWrapper(PERSONAL_DDL))
+    mediator.import_collection("bib", "Publications")
+    mediator.import_collection("ddl", "Personal")
+    mediator.import_collection("ddl", "Projects")
+    mediator.import_collection("ddl", "Patents")
+    data = mediator.materialize()
+    print(f"mediated data graph: {data.stats()} from 2 sources")
+
+    builder = SiteBuilder(data)
+    internal = builder.define(
+        SiteDefinition("internal", SITE_QUERY, build_templates(INTERNAL_HOME),
+                       roots=["HomePage()"])
+    )
+    external = builder.define(
+        derive_version(internal, "external",
+                       template_overrides={"home": EXTERNAL_HOME})
+    )
+
+    # one site graph serves both versions
+    site_graph = builder.site_graph("internal")
+    built_internal = builder.build("internal", site_graph=site_graph)
+    built_external = builder.build("external", site_graph=site_graph)
+
+    diff = diff_definitions(internal, external)
+    print(f"deriving external from internal: {diff.as_row()}")
+    assert not diff.new_queries_needed, "external version needs no new queries"
+
+    internal_home = built_internal.pages["index.html"]
+    external_home = built_external.pages["index.html"]
+    print("internal home mentions patents:", "Patent" in internal_home)
+    print("external home mentions patents:", "Patent" in external_home)
+    print("external home mentions proprietary:", "Proprietary" in external_home)
+
+    built_internal.write(f"{output_dir}/internal")
+    built_external.write(f"{output_dir}/external")
+    print(f"wrote both versions under {output_dir}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

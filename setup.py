@@ -1,0 +1,19 @@
+"""Setuptools shim for environments without PEP 517 wheel support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` through the legacy path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Strudel reproduction: a declarative web-site management system "
+        "(SIGMOD 1998)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,126 @@
+"""Strudel reproduction: a declarative web-site management system.
+
+A from-scratch Python implementation of the STRUDEL system ("Catching the
+Boat with Strudel: Experiences with a Web-Site Management System",
+SIGMOD 1998): a semistructured data model of labeled directed graphs, the
+STRUQL query/restructuring language, source wrappers and a GAV
+warehousing mediator, an HTML-template language, site schemas with
+integrity-constraint verification, and dynamic click-time site
+evaluation.
+
+Quick start::
+
+    from repro import BibtexWrapper, SiteBuilder, SiteDefinition, TemplateSet
+
+    data = BibtexWrapper(open("pubs.bib").read()).wrap()
+    templates = TemplateSet()
+    templates.add("root", "<html>...<SFMT YearPage UL ORDER=descend KEY=Year>...")
+    templates.for_object("RootPage()", "root")
+    builder = SiteBuilder(data)
+    builder.define(SiteDefinition("homepage", SITE_QUERY, templates))
+    built = builder.build("homepage")
+    built.write("out/")
+
+See ``examples/`` for complete pipelines and ``DESIGN.md`` for the map
+from paper sections to modules.
+"""
+
+from .core import (
+    BrowseSession,
+    BuiltSite,
+    CheckResult,
+    DynamicSite,
+    NodeInstance,
+    SiteBuilder,
+    SiteDefinition,
+    SiteSchema,
+    SiteStats,
+    Verdict,
+    check,
+    derive_version,
+    diff_definitions,
+    enforce,
+    measure_site,
+    parse_constraint,
+    verify_static,
+)
+from .errors import (
+    ConstraintViolation,
+    GraphError,
+    MediatorError,
+    RepositoryError,
+    SiteDefinitionError,
+    StrudelError,
+    StruqlError,
+    TemplateError,
+    WrapperError,
+)
+from .graph import Atom, AtomType, Graph, Oid
+from .mediator import Mediator
+from .repository import Repository, ddl
+from .struql import Program, Query, evaluate, parse, query_bindings
+from .template import GeneratedSite, HtmlGenerator, Renderer, TemplateSet, generate_site
+from .wrappers import (
+    BibtexWrapper,
+    DdlWrapper,
+    HtmlSiteWrapper,
+    RelationalWrapper,
+    StructuredFileWrapper,
+    Table,
+    Wrapper,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "AtomType",
+    "BibtexWrapper",
+    "BrowseSession",
+    "BuiltSite",
+    "CheckResult",
+    "ConstraintViolation",
+    "DdlWrapper",
+    "DynamicSite",
+    "GeneratedSite",
+    "Graph",
+    "GraphError",
+    "HtmlGenerator",
+    "HtmlSiteWrapper",
+    "Mediator",
+    "MediatorError",
+    "NodeInstance",
+    "Oid",
+    "Program",
+    "Query",
+    "RelationalWrapper",
+    "Renderer",
+    "Repository",
+    "RepositoryError",
+    "SiteBuilder",
+    "SiteDefinition",
+    "SiteDefinitionError",
+    "SiteSchema",
+    "SiteStats",
+    "StructuredFileWrapper",
+    "StrudelError",
+    "StruqlError",
+    "Table",
+    "TemplateError",
+    "TemplateSet",
+    "Verdict",
+    "Wrapper",
+    "WrapperError",
+    "check",
+    "ddl",
+    "derive_version",
+    "diff_definitions",
+    "enforce",
+    "evaluate",
+    "generate_site",
+    "measure_site",
+    "parse",
+    "parse_constraint",
+    "query_bindings",
+    "verify_static",
+]

@@ -1,0 +1,46 @@
+"""Baselines the paper compares against (Fig. 8 and section 6.3):
+procedural CGI-style generation, DB-with-embedded-query templates,
+hand-maintained static HTML, and the maximal-schema relational encoding.
+"""
+
+from .family import (
+    ITEM_ATTRIBUTES,
+    dbtemplate_source,
+    dbtemplate_spec_lines,
+    family_graph,
+    procedural_source,
+    procedural_spec_lines,
+    run_dbtemplate,
+    run_procedural,
+    run_strudel,
+    static_html_lines,
+    strudel_query,
+    strudel_spec_lines,
+    strudel_templates,
+)
+from .relational_model import (
+    GraphModelReport,
+    MaximalSchemaReport,
+    graph_model,
+    maximal_schema,
+)
+
+__all__ = [
+    "GraphModelReport",
+    "ITEM_ATTRIBUTES",
+    "MaximalSchemaReport",
+    "dbtemplate_source",
+    "dbtemplate_spec_lines",
+    "family_graph",
+    "graph_model",
+    "maximal_schema",
+    "procedural_source",
+    "procedural_spec_lines",
+    "run_dbtemplate",
+    "run_procedural",
+    "run_strudel",
+    "static_html_lines",
+    "strudel_query",
+    "strudel_spec_lines",
+    "strudel_templates",
+]

@@ -1,0 +1,282 @@
+"""Command-line interface: the Strudel pipeline without writing Python.
+
+Section 7 of the paper: "Developing the appropriate API to STRUDEL may
+be the best way to incorporate it into tools that Web-site builders
+currently use."  This CLI is that integration surface for shell-based
+workflows::
+
+    python -m repro wrap bibtex pubs.bib -o data.ddl
+    python -m repro build --data data.ddl --query site.struql \\
+                          --templates templates/ -o out/
+    python -m repro schema site.struql -o schema.dot
+    python -m repro check --site site.ddl "forall X (...)"
+    python -m repro bindings --data data.ddl 'where Publications(x), ...'
+    python -m repro stats data.ddl
+
+Template directories hold ``*.tmpl`` files; a template named after a
+collection (``Publications.tmpl``) is attached to that collection, one
+named after a Skolem term with ``()`` spelled ``__`` is object-specific
+(``RootPage__.tmpl`` -> ``RootPage()``), and ``default.tmpl`` becomes
+the fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .core import SiteBuilder, SiteDefinition, SiteSchema, audit, check, verify_static
+from .graph import Graph
+from .graph.dot import to_dot
+from .repository import ddl
+from .struql import parse, query_bindings
+from .struql import explain as explain_plan
+from .template import TemplateSet, lint_templates
+from .wrappers import (
+    BibtexWrapper,
+    DdlWrapper,
+    HtmlSiteWrapper,
+    RelationalWrapper,
+    StructuredFileWrapper,
+    Table,
+    XmlWrapper,
+)
+
+_WRAPPERS = ("bibtex", "csv", "structured", "html", "xml", "ddl")
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def _load_graph(path: str) -> Graph:
+    return ddl.loads(_read(path), os.path.basename(path))
+
+
+def _load_templates(directory: str) -> TemplateSet:
+    templates = TemplateSet()
+    names: List[str] = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".tmpl"):
+            continue
+        name = entry[: -len(".tmpl")]
+        templates.add_file(os.path.join(directory, entry), name)
+        names.append(name)
+    for name in names:
+        if name == "default":
+            templates.set_default(name)
+        elif name.endswith("__"):
+            templates.for_object(name[:-2] + "()", name)
+        else:
+            templates.for_collection(name, name)
+    return templates
+
+
+# -------------------------------------------------------------------- #
+# subcommands
+
+
+def _cmd_wrap(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "bibtex":
+        graph = BibtexWrapper(_read(args.source)).wrap()
+    elif kind == "csv":
+        name = os.path.basename(args.source).rsplit(".", 1)[0]
+        graph = RelationalWrapper([Table.from_csv(name, _read(args.source))]).wrap()
+    elif kind == "structured":
+        graph = StructuredFileWrapper(_read(args.source)).wrap()
+    elif kind == "xml":
+        graph = XmlWrapper(_read(args.source)).wrap()
+    elif kind == "html":
+        pages = {}
+        root = args.source
+        for base, _, files in os.walk(root):
+            for filename in files:
+                if filename.endswith((".html", ".htm")):
+                    path = os.path.join(base, filename)
+                    pages[os.path.relpath(path, root)] = _read(path)
+        graph = HtmlSiteWrapper(pages).wrap()
+    else:
+        graph = DdlWrapper(_read(args.source)).wrap()
+    _write_output(ddl.dumps(graph), args.output)
+    print(f"wrapped {args.source}: {graph.stats()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = _load_graph(args.data)
+    templates = _load_templates(args.templates)
+    definition = SiteDefinition(
+        name=args.name,
+        query=_read(args.query),
+        templates=templates,
+        roots=list(args.root) if args.root else [],
+    )
+    builder = SiteBuilder(data)
+    builder.define(definition)
+    built = builder.build(args.name)
+    built.write(args.output)
+    report = audit(built)
+    print(f"built {args.name} -> {args.output}", file=sys.stderr)
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    program = parse(_read(args.query))
+    schema = SiteSchema.from_program(program)
+    if args.format == "dot":
+        _write_output(schema.to_dot() + "\n", args.output)
+    else:
+        _write_output("\n".join(schema.recover_link_expressions()) + "\n", args.output)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    failures = 0
+    if args.site:
+        graph = _load_graph(args.site)
+        for constraint in args.constraint:
+            result = check(constraint, graph)
+            status = "holds" if result.holds else f"VIOLATED ({result.witness})"
+            print(f"{status}: {constraint}")
+            if not result.holds:
+                failures += 1
+    if args.query:
+        schema = SiteSchema.from_program(parse(_read(args.query)))
+        for constraint in args.constraint:
+            verdict = verify_static(constraint, schema)
+            print(f"static {verdict.value}: {constraint}")
+    return 1 if failures else 0
+
+
+def _cmd_bindings(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data)
+    rows = query_bindings(args.query, graph)
+    for row in rows:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+        print(rendered)
+    print(f"({len(rows)} rows)", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data)
+    for key, value in graph.stats().items():
+        print(f"{key}: {value}")
+    for collection in graph.collection_names():
+        print(f"collection {collection}: {graph.collection_cardinality(collection)}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    schema = SiteSchema.from_program(parse(_read(args.query)))
+    templates = _load_templates(args.templates)
+    report = lint_templates(templates, schema)
+    for finding in report.findings:
+        print(finding)
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data) if args.data else None
+    text = _read(args.query) if os.path.exists(args.query) else args.query
+    print(explain_plan(text, graph, use_indexes=not args.naive))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data)
+    _write_output(to_dot(graph, cluster_collections=args.cluster) + "\n", args.output)
+    return 0
+
+
+# -------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for doc generation/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Strudel web-site management pipeline"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    wrap = sub.add_parser("wrap", help="wrap a source into DDL")
+    wrap.add_argument("kind", choices=_WRAPPERS)
+    wrap.add_argument("source", help="source file (or directory for html)")
+    wrap.add_argument("-o", "--output", help="output DDL file (default stdout)")
+    wrap.set_defaults(func=_cmd_wrap)
+
+    build = sub.add_parser("build", help="build a browsable site")
+    build.add_argument("--data", required=True, help="data graph DDL file")
+    build.add_argument("--query", required=True, help="STRUQL site definition")
+    build.add_argument("--templates", required=True, help="directory of .tmpl files")
+    build.add_argument("-o", "--output", required=True, help="output directory")
+    build.add_argument("--name", default="site")
+    build.add_argument("--root", action="append", help="root object/collection")
+    build.set_defaults(func=_cmd_build)
+
+    schema = sub.add_parser("schema", help="derive the site schema of a query")
+    schema.add_argument("query", help="STRUQL file")
+    schema.add_argument("--format", choices=("dot", "text"), default="dot")
+    schema.add_argument("-o", "--output")
+    schema.set_defaults(func=_cmd_schema)
+
+    check_cmd = sub.add_parser("check", help="check integrity constraints")
+    check_cmd.add_argument("constraint", nargs="+")
+    check_cmd.add_argument("--site", help="materialized site graph DDL")
+    check_cmd.add_argument("--query", help="STRUQL file for static verification")
+    check_cmd.set_defaults(func=_cmd_check)
+
+    bindings = sub.add_parser("bindings", help="evaluate a where clause")
+    bindings.add_argument("--data", required=True)
+    bindings.add_argument("query", help="STRUQL text (where clause)")
+    bindings.set_defaults(func=_cmd_bindings)
+
+    stats = sub.add_parser("stats", help="size summary of a DDL graph")
+    stats.add_argument("data")
+    stats.set_defaults(func=_cmd_stats)
+
+    lint = sub.add_parser("lint", help="check templates against a site schema")
+    lint.add_argument("--query", required=True, help="STRUQL site definition")
+    lint.add_argument("--templates", required=True, help="directory of .tmpl files")
+    lint.set_defaults(func=_cmd_lint)
+
+    explain_cmd = sub.add_parser("explain", help="show a query's execution plan")
+    explain_cmd.add_argument("query", help="STRUQL text or file")
+    explain_cmd.add_argument("--data", help="DDL graph for statistics")
+    explain_cmd.add_argument("--naive", action="store_true",
+                             help="plan without indexes (ablation view)")
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    dot = sub.add_parser("dot", help="render a DDL graph as GraphViz")
+    dot.add_argument("data")
+    dot.add_argument("--cluster", action="store_true",
+                     help="group collection members into clusters")
+    dot.add_argument("-o", "--output")
+    dot.set_defaults(func=_cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

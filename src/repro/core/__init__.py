@@ -1,0 +1,89 @@
+"""The paper's primary contribution: declarative site management.
+
+Site definitions, site schemas, integrity constraints, dynamic
+("click-time") evaluation, versions, and the measurements the paper
+reports per site.
+"""
+
+from .audit import AuditReport, audit
+from .constraints import (
+    And,
+    CheckResult,
+    ClassAtom,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    PathAtom,
+    Verdict,
+    check,
+    enforce,
+    parse_constraint,
+    verify_static,
+)
+from .incremental import (
+    BrowseSession,
+    ClickMetrics,
+    DynamicSite,
+    ExpandedEdge,
+    NodeInstance,
+)
+from .maintenance import MaintenanceReport, SiteMaintainer
+from .propagation import (
+    DataOrigin,
+    EditPropagator,
+    PropagationError,
+    PropagationResult,
+)
+from .schema import NS, SchemaCreation, SchemaEdge, SiteSchema
+from .server import LazySiteGraph, PageServer
+from .site import BuiltSite, SiteBuilder, SiteDefinition
+from .stats import SiteStats, measure_site
+from .versions import VersionDiff, derive_version, diff_definitions
+
+__all__ = [
+    "And",
+    "AuditReport",
+    "audit",
+    "BrowseSession",
+    "BuiltSite",
+    "CheckResult",
+    "ClassAtom",
+    "ClickMetrics",
+    "DataOrigin",
+    "DynamicSite",
+    "EditPropagator",
+    "PropagationError",
+    "PropagationResult",
+    "Exists",
+    "ExpandedEdge",
+    "ForAll",
+    "Formula",
+    "Implies",
+    "LazySiteGraph",
+    "MaintenanceReport",
+    "NS",
+    "NodeInstance",
+    "Not",
+    "PageServer",
+    "SiteMaintainer",
+    "Or",
+    "PathAtom",
+    "SchemaCreation",
+    "SchemaEdge",
+    "SiteBuilder",
+    "SiteDefinition",
+    "SiteSchema",
+    "SiteStats",
+    "Verdict",
+    "VersionDiff",
+    "check",
+    "derive_version",
+    "diff_definitions",
+    "enforce",
+    "measure_site",
+    "parse_constraint",
+    "verify_static",
+]

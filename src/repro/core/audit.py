@@ -1,0 +1,112 @@
+"""Site auditing: one call answering "is this generated site healthy?".
+
+The paper frames integrity constraints ("connectedness, reachability of
+nodes", section 2.5) as the formal tool; in day-to-day site building the
+same questions are asked informally after every regeneration.  The
+auditor bundles them:
+
+* **dangling links** -- internal hrefs whose target page was never
+  generated;
+* **unreachable pages** -- site-graph nodes with a template that no
+  link path from the roots reaches (content that silently fell off the
+  site, usually a missing ``link`` clause);
+* **empty pages** -- generated pages whose rendered body has no visible
+  text (usually an attribute-name typo in a template);
+* **constraint outcomes** -- the definition's declared integrity
+  constraints, model-checked on the site graph.
+
+``ok`` is True only when everything passes, which makes
+``assert audit(built).ok`` a one-line regression test for a whole site,
+and ``python -m repro build`` uses the dangling-link portion for its
+exit code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..graph import Oid
+from .constraints import CheckResult, check
+from .site import BuiltSite
+
+_TAG = re.compile(r"<[^>]+>")
+
+
+@dataclass
+class AuditReport:
+    """The auditor's findings; empty lists mean a clean site."""
+
+    pages: int = 0
+    dangling_links: List[Tuple[str, str]] = field(default_factory=list)
+    unreachable_pages: List[str] = field(default_factory=list)
+    empty_pages: List[str] = field(default_factory=list)
+    constraint_results: Dict[str, CheckResult] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.dangling_links
+            and not self.unreachable_pages
+            and not self.empty_pages
+            and all(bool(result) for result in self.constraint_results.values())
+        )
+
+    def summary(self) -> str:
+        failed = [c for c, r in self.constraint_results.items() if not r]
+        lines = [
+            f"pages: {self.pages}",
+            f"dangling links: {len(self.dangling_links)}",
+            f"unreachable pages: {len(self.unreachable_pages)}",
+            f"empty pages: {len(self.empty_pages)}",
+            f"constraints: {len(self.constraint_results) - len(failed)}"
+            f"/{len(self.constraint_results)} hold",
+            f"verdict: {'OK' if self.ok else 'PROBLEMS FOUND'}",
+        ]
+        return "\n".join(lines)
+
+
+def audit(built: BuiltSite) -> AuditReport:
+    """Audit one built site."""
+    report = AuditReport(pages=built.generated.page_count)
+    report.dangling_links = built.generated.dangling_links()
+    report.unreachable_pages = _unreachable_pages(built)
+    report.empty_pages = _empty_pages(built)
+    if built.constraint_results:
+        report.constraint_results = dict(built.constraint_results)
+    else:
+        for constraint in built.definition.constraints:
+            report.constraint_results[str(constraint)] = check(
+                constraint, built.site_graph
+            )
+    return report
+
+
+def _unreachable_pages(built: BuiltSite) -> List[str]:
+    """Site-graph nodes that resolve a template but are neither rendered
+    as pages nor reachable from any rendered page -- content the site
+    defines but never displays (embedded components hang off generated
+    pages, so they do not trigger this)."""
+    generated_for = set(built.generated.filenames)
+    reachable: set = set()
+    for page_oid in generated_for:
+        if built.site_graph.has_node(page_oid):
+            reachable.update(built.site_graph.reachable(page_oid))
+    templates = built.definition.templates
+    missing: List[str] = []
+    for oid in built.site_graph.nodes():
+        if oid in generated_for or oid in reachable:
+            continue
+        if templates.resolve(built.site_graph, oid) is not None:
+            missing.append(oid.name)
+    return missing
+
+
+def _empty_pages(built: BuiltSite) -> List[str]:
+    empty: List[str] = []
+    for filename, content in built.generated.pages.items():
+        text = _TAG.sub("", content)
+        if not text.strip():
+            empty.append(filename)
+    return empty

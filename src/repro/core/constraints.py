@@ -1,0 +1,564 @@
+"""Integrity constraints on Strudel-generated sites.
+
+"We often want to enforce constraints that refer to the site graph, e.g.
+'All paper presentation pages are reachable from a category page' ...
+Integrity constraints are logical sentences built from expressions of the
+form C(X) and X -> R -> Y using logical connectives and quantifiers"
+(paper section 2.5).  The example constraint is written here as::
+
+    forall X (PaperPresentation(X) => exists Y (CategoryPage(Y) and Y -> * -> X))
+
+Two checkers are provided:
+
+* :func:`check` -- exact model checking on a *materialized* site graph:
+  quantifiers range over the graph's nodes (active domain), ``C(X)``
+  means membership in collection C or, when no such collection exists,
+  "X was created by Skolem function C", and path atoms are evaluated
+  with the regular-path-expression machinery.  Returns a
+  :class:`CheckResult` with a counterexample binding on failure.
+
+* :func:`verify_static` -- conservative verification on the *site
+  schema*, before any site is generated.  The paper's complete
+  entailment algorithm is in a companion paper [14]; here we implement a
+  sound approximation: ``VERIFIED`` answers are guaranteed correct
+  (theorems about every site any data graph can produce), anything the
+  analysis cannot prove is ``UNKNOWN``.  Experiment E7 measures the
+  agreement and speed against the model checker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConstraintError, ConstraintViolation
+from ..graph import Graph, Oid
+from ..struql.ast import AnyLabel, LabelIs, PathExpr, Star
+from ..struql.lexer import Token, tokenize
+from ..struql.paths import compile_path, path_exists, reverse_expr, sources_to, targets_from
+from .schema import NS, SchemaEdge, SiteSchema
+
+# ---------------------------------------------------------------------- #
+# formula AST
+
+
+class Formula:
+    """Base class of constraint formulas."""
+
+
+@dataclass(frozen=True)
+class ClassAtom(Formula):
+    """``C(X)`` -- X belongs to class C (collection or Skolem function)."""
+
+    name: str
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.var})"
+
+
+@dataclass(frozen=True)
+class PathAtom(Formula):
+    """``X -> R -> Y`` -- a path matching R from X to Y."""
+
+    source: str
+    path: PathExpr
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.path} -> {self.target}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"not ({self.inner})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} => {self.right})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    var: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"forall {self.var} ({self.body})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    var: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"exists {self.var} ({self.body})"
+
+
+# ---------------------------------------------------------------------- #
+# parser (reuses the STRUQL lexer)
+
+
+def parse_constraint(text: str) -> Formula:
+    """Parse a constraint formula.
+
+    Grammar::
+
+        formula  ::= quantified | implied
+        quantified ::= ("forall" | "exists") IDENT "(" formula ")"
+        implied  ::= disjunct [ ("=>" | "implies") formula ]
+        disjunct ::= conjunct ("or" conjunct)*
+        conjunct ::= unit ("and" unit)*
+        unit     ::= "not" unit | "(" formula ")" | quantified | atom
+        atom     ::= IDENT "(" IDENT ")" | IDENT "->" path "->" IDENT
+    """
+    parser = _ConstraintParser(text)
+    formula = parser.parse_formula()
+    parser.expect_end()
+    return formula
+
+
+class _ConstraintParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    def _peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self._index + ahead
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ConstraintError("unexpected end of constraint")
+        self._index += 1
+        return token
+
+    def _match_ident(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.text == word:
+            self._index += 1
+            return True
+        return False
+
+    def _match_implies(self) -> bool:
+        if self._match_ident("implies"):
+            return True
+        first, second = self._peek(), self._peek(1)
+        if (
+            first is not None
+            and second is not None
+            and first.kind == "op"
+            and first.text == "="
+            and second.kind == "op"
+            and second.text == ">"
+        ):
+            self._index += 2
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._next()
+        if token.kind != kind or (text and token.text != text):
+            raise ConstraintError(
+                f"expected {text or kind!r}, got {token.text!r} "
+                f"(line {token.line})"
+            )
+        return token
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ConstraintError(f"trailing input: {token.text!r}")
+
+    # ------------------------------------------------------------ #
+
+    def parse_formula(self) -> Formula:
+        left = self._parse_disjunct()
+        if self._match_implies():
+            return Implies(left, self.parse_formula())
+        return left
+
+    def _parse_disjunct(self) -> Formula:
+        left = self._parse_conjunct()
+        while self._match_ident("or"):
+            left = Or(left, self._parse_conjunct())
+        return left
+
+    def _parse_conjunct(self) -> Formula:
+        left = self._parse_unit()
+        while self._match_ident("and"):
+            left = And(left, self._parse_unit())
+        return left
+
+    def _parse_unit(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ConstraintError("unexpected end of constraint")
+        if token.kind == "ident" and token.text in ("forall", "exists"):
+            self._next()
+            var = self._expect("ident").text
+            self._expect("punct", "(")
+            body = self.parse_formula()
+            self._expect("punct", ")")
+            return ForAll(var, body) if token.text == "forall" else Exists(var, body)
+        if token.kind == "ident" and token.text == "not":
+            self._next()
+            return Not(self._parse_unit())
+        if token.kind == "punct" and token.text == "(":
+            self._next()
+            inner = self.parse_formula()
+            self._expect("punct", ")")
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Formula:
+        name = self._expect("ident").text
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == "(":
+            self._next()
+            var = self._expect("ident").text
+            self._expect("punct", ")")
+            return ClassAtom(name, var)
+        self._expect("arrow")
+        path = self._parse_path()
+        self._expect("arrow")
+        target = self._expect("ident").text
+        return PathAtom(name, path, target)
+
+    def _parse_path(self) -> PathExpr:
+        # Reuse STRUQL's path grammar through a tiny re-parse of the
+        # tokens between the arrows.
+        from ..struql.parser import _Parser  # local import to avoid cycle
+
+        depth = 0
+        collected: List[Token] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ConstraintError("unterminated path in constraint")
+            if token.kind == "arrow" and depth == 0:
+                break
+            if token.kind == "punct" and token.text == "(":
+                depth += 1
+            if token.kind == "punct" and token.text == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            collected.append(self._next())
+        text = " ".join(
+            f'"{t.text}"' if t.kind == "string" else t.text for t in collected
+        )
+        sub = _Parser(text)
+        path = sub._parse_path_expression()
+        if sub._peek() is not None:
+            raise ConstraintError(f"bad path expression: {text!r}")
+        return path
+
+
+# ---------------------------------------------------------------------- #
+# exact model checking
+
+
+@dataclass
+class CheckResult:
+    """Outcome of model checking a constraint on a site graph."""
+
+    holds: bool
+    witness: Optional[Dict[str, Oid]] = None  # counterexample for failures
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check(formula: Union[Formula, str], graph: Graph) -> CheckResult:
+    """Exact check of a constraint against a materialized site graph."""
+    if isinstance(formula, str):
+        formula = parse_constraint(formula)
+    checker = _Checker(graph)
+    witness: Dict[str, Oid] = {}
+    holds = checker.eval(formula, {}, witness)
+    return CheckResult(holds=holds, witness=None if holds else dict(witness))
+
+
+def enforce(
+    constraints: Sequence[Union[Formula, str]], graph: Graph
+) -> None:
+    """Raise :class:`ConstraintViolation` on the first failing constraint."""
+    for constraint in constraints:
+        result = check(constraint, graph)
+        if not result.holds:
+            raise ConstraintViolation(constraint, result.witness)
+
+
+class _Checker:
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._nfa_cache: Dict[int, tuple] = {}
+
+    def _members(self, name: str) -> List[Oid]:
+        if self.graph.has_collection(name):
+            return self.graph.collection(name)
+        prefix = name + "("
+        return [oid for oid in self.graph.nodes() if oid.name.startswith(prefix)]
+
+    def eval(self, formula: Formula, env: Dict[str, Oid], witness: Dict[str, Oid]) -> bool:
+        if isinstance(formula, ClassAtom):
+            value = env.get(formula.var)
+            if value is None:
+                raise ConstraintError(f"unbound variable {formula.var} in {formula}")
+            return value in self._members(formula.name)
+        if isinstance(formula, PathAtom):
+            return self._path_holds(formula, env)
+        if isinstance(formula, Not):
+            return not self.eval(formula.inner, env, witness)
+        if isinstance(formula, And):
+            return self.eval(formula.left, env, witness) and self.eval(
+                formula.right, env, witness
+            )
+        if isinstance(formula, Or):
+            return self.eval(formula.left, env, witness) or self.eval(
+                formula.right, env, witness
+            )
+        if isinstance(formula, Implies):
+            return (not self.eval(formula.left, env, witness)) or self.eval(
+                formula.right, env, witness
+            )
+        if isinstance(formula, ForAll):
+            for node in self.graph.nodes():
+                extended = dict(env)
+                extended[formula.var] = node
+                if not self.eval(formula.body, extended, witness):
+                    witness.update(extended)
+                    return False
+            return True
+        if isinstance(formula, Exists):
+            for node in self.graph.nodes():
+                extended = dict(env)
+                extended[formula.var] = node
+                if self.eval(formula.body, extended, witness):
+                    return True
+            return False
+        raise ConstraintError(f"unknown formula: {formula!r}")
+
+    def _path_holds(self, atom: PathAtom, env: Dict[str, Oid]) -> bool:
+        source = env.get(atom.source)
+        target = env.get(atom.target)
+        cached = self._nfa_cache.get(id(atom.path))
+        if cached is None:
+            cached = (compile_path(atom.path), compile_path(reverse_expr(atom.path)))
+            self._nfa_cache[id(atom.path)] = cached
+        forward, backward = cached
+        if source is not None and target is not None:
+            return path_exists(self.graph, forward, source, target)
+        if source is not None:
+            return bool(targets_from(self.graph, forward, source))
+        if target is not None:
+            return bool(sources_to(self.graph, backward, target))
+        raise ConstraintError(f"path atom {atom} has no bound endpoint")
+
+
+# ---------------------------------------------------------------------- #
+# conservative static verification on the site schema
+
+
+class Verdict(enum.Enum):
+    """Outcome of static verification.  VERIFIED is sound: the constraint
+    holds on every site the query can generate.  UNKNOWN means the
+    conservative analysis could not prove it (the site may still satisfy
+    it -- run :func:`check` on the materialized graph)."""
+
+    VERIFIED = "verified"
+    UNKNOWN = "unknown"
+
+
+def verify_static(formula: Union[Formula, str], schema: SiteSchema) -> Verdict:
+    """Conservatively verify a constraint against a site schema.
+
+    Handled pattern (the paper's leading example)::
+
+        forall X (A(X) => exists Y (B(Y) and Y -R-> X))
+        forall X (A(X) => exists Y (B(Y) and X -R-> Y))
+
+    The proof obligation: for every creation site of every A-function
+    there must be a schema path from some B-function to it (respectively
+    from it to some B-function) whose labels can match R, whose guard
+    conjunctions are implied by A's creation conjunction (we require the
+    guard block-set to be a subset -- sound, not complete), and whose
+    Skolem arguments chain compatibly so that the path connects *this*
+    A-instance rather than some other.  Everything else returns UNKNOWN.
+    """
+    if isinstance(formula, str):
+        formula = parse_constraint(formula)
+    pattern = _match_reachability_pattern(formula)
+    if pattern is None:
+        return Verdict.UNKNOWN
+    class_a, class_b, path, from_b = pattern
+    a_functions = schema.functions_of_class(class_a)
+    b_functions = schema.functions_of_class(class_b)
+    if not a_functions or not b_functions:
+        return Verdict.UNKNOWN
+    for a_function in a_functions:
+        creations = schema.creations_of(a_function)
+        if not creations:
+            return Verdict.UNKNOWN
+        for creation in creations:
+            if not _provable_for_creation(
+                schema, creation, b_functions, path, from_b
+            ):
+                return Verdict.UNKNOWN
+    return Verdict.VERIFIED
+
+
+def _match_reachability_pattern(formula: Formula):
+    """Destructure forall X (A(X) => exists Y (B(Y) and path)) or the
+    variant without the existential when the path endpoint is the
+    universal variable itself."""
+    if not isinstance(formula, ForAll):
+        return None
+    body = formula.body
+    if not isinstance(body, Implies) or not isinstance(body.left, ClassAtom):
+        return None
+    if body.left.var != formula.var:
+        return None
+    class_a = body.left.name
+    right = body.right
+    if not isinstance(right, Exists):
+        return None
+    exists_var = right.var
+    inner = right.body
+    if not isinstance(inner, And):
+        return None
+    class_atom, path_atom = inner.left, inner.right
+    if isinstance(path_atom, ClassAtom) and isinstance(class_atom, PathAtom):
+        class_atom, path_atom = path_atom, class_atom
+    if not isinstance(class_atom, ClassAtom) or not isinstance(path_atom, PathAtom):
+        return None
+    if class_atom.var != exists_var:
+        return None
+    class_b = class_atom.name
+    if path_atom.source == exists_var and path_atom.target == formula.var:
+        return class_a, class_b, path_atom.path, True
+    if path_atom.source == formula.var and path_atom.target == exists_var:
+        return class_a, class_b, path_atom.path, False
+    return None
+
+
+def _provable_for_creation(
+    schema: SiteSchema,
+    creation,
+    b_functions: List[str],
+    path: PathExpr,
+    from_b: bool,
+) -> bool:
+    """Search the schema graph for a guard-compatible, argument-chained
+    path between the creation's function and some B-function matching
+    the regular path expression."""
+    nfa = compile_path(path) if from_b else compile_path(path)
+    # Walk the schema product with the NFA.  State: (function, nfa states,
+    # current argument tuple).  Arguments must chain: each traversed edge's
+    # endpoint args must equal the args we arrived with.
+    target_function = creation.function
+    guard = frozenset(creation.query_names)
+    start_functions = b_functions if from_b else [creation.function]
+    goal_functions = {creation.function} if from_b else set(b_functions)
+
+    initial = nfa.initial
+    frontier: List[Tuple[str, frozenset, Tuple[str, ...]]] = []
+    seen = set()
+    for function in start_functions:
+        if from_b:
+            for b_creation in schema.creations_of(function):
+                state = (function, initial, b_creation.args)
+                if state not in seen:
+                    seen.add(state)
+                    frontier.append(state)
+        else:
+            state = (function, initial, creation.args)
+            if state not in seen:
+                seen.add(state)
+                frontier.append(state)
+
+    def accepts(function: str, states: frozenset, args: Tuple[str, ...]) -> bool:
+        if function not in goal_functions or not nfa.accepts_in(states):
+            return False
+        if from_b and function == target_function:
+            return args == creation.args
+        return True
+
+    for function, states, args in frontier:
+        if accepts(function, states, args):
+            return True
+    while frontier:
+        function, states, args = frontier.pop()
+        for edge in schema.edges_from(function):
+            if edge.target == NS:
+                continue
+            if not frozenset(edge.query_names) <= guard:
+                continue  # the edge may not exist for every A-instance
+            if edge.source_args != args:
+                continue  # would connect a different instance
+            label = "any" if edge.label_is_variable else edge.label
+            if edge.label_is_variable:
+                # an arc variable can be any label; step the NFA with a
+                # wildcard by trying AnyLabel semantics: succeed on any
+                # transition whose test accepts *some* label; we
+                # conservatively require the test to accept everything,
+                # i.e. only AnyLabel-derived transitions.
+                next_states = _step_wildcard(nfa, states)
+            else:
+                next_states = nfa.step(states, label)
+            if not next_states:
+                continue
+            state = (edge.target, next_states, edge.target_args)
+            if state in seen:
+                continue
+            seen.add(state)
+            if accepts(edge.target, next_states, edge.target_args):
+                return True
+            frontier.append(state)
+    return False
+
+
+def _step_wildcard(nfa, states: frozenset) -> frozenset:
+    """Step the NFA over an edge whose label is data-dependent.
+
+    Sound direction: the step may only use transitions that accept *every*
+    label (true / AnyLabel tests); a transition testing a specific label
+    might not match the run-time label, so it cannot be relied upon.
+    We detect universal tests by probing with two unlikely sentinels.
+    """
+    out = set()
+    for state in states:
+        for test, nxt in nfa.transitions.get(state, ()):
+            if test("sentinel-a") and test("sentinel-b"):
+                out.add(nxt)
+    return nfa.closure(frozenset(out))

@@ -1,0 +1,81 @@
+"""Site measurements: the numbers the paper reports per site.
+
+Section 5.1 measures each site as "(defined by) a 115-line query and 17
+HTML templates (380 lines)"; section 6.1 proposes "the number of link
+clauses in the site-definition query" as the structural-complexity
+measure.  :class:`SiteStats` collects exactly these, plus generated-site
+sizes, for experiment E1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..graph import Graph
+from ..struql.ast import Program
+from ..template import GeneratedSite, TemplateSet
+
+
+@dataclass
+class SiteStats:
+    """Per-site measurements in the paper's units."""
+
+    site_name: str = ""
+    #: non-blank, non-comment lines of the site-definition query
+    query_lines: int = 0
+    #: the structural-complexity measure of section 6.1
+    link_clauses: int = 0
+    #: number of queries composed into the definition
+    queries: int = 0
+    template_count: int = 0
+    template_lines: int = 0
+    #: data-graph size
+    data_nodes: int = 0
+    data_edges: int = 0
+    #: site-graph size
+    site_nodes: int = 0
+    site_edges: int = 0
+    #: generated browsable site
+    pages: int = 0
+    sources: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        """The row the E1 bench prints."""
+        return {
+            "site": self.site_name,
+            "query lines": self.query_lines,
+            "link clauses": self.link_clauses,
+            "templates": self.template_count,
+            "template lines": self.template_lines,
+            "pages": self.pages,
+            "sources": self.sources,
+        }
+
+
+def measure_site(
+    site_name: str,
+    program: Program,
+    templates: Optional[TemplateSet] = None,
+    data_graph: Optional[Graph] = None,
+    site_graph: Optional[Graph] = None,
+    generated: Optional[GeneratedSite] = None,
+    sources: int = 0,
+) -> SiteStats:
+    """Collect :class:`SiteStats` from whichever artifacts are at hand."""
+    stats = SiteStats(site_name=site_name, sources=sources)
+    stats.query_lines = program.line_count()
+    stats.link_clauses = program.link_clause_count()
+    stats.queries = len(program.queries)
+    if templates is not None:
+        stats.template_count = templates.template_count()
+        stats.template_lines = templates.total_source_lines()
+    if data_graph is not None:
+        stats.data_nodes = data_graph.node_count
+        stats.data_edges = data_graph.edge_count
+    if site_graph is not None:
+        stats.site_nodes = site_graph.node_count
+        stats.site_edges = site_graph.edge_count
+    if generated is not None:
+        stats.pages = generated.page_count
+    return stats

@@ -1,0 +1,144 @@
+"""Multiple site versions and the cost of deriving them.
+
+The paper's headline economy claims (section 5.1) are about *versions*:
+
+* the AT&T external site needed "no new queries ... only five HTML
+  template files differ";
+* the CNN sports-only site's query "only differs in two extra predicates
+  in one where clause; both sites use the same templates";
+* the INRIA site's English and French views come from one query.
+
+This module provides the derivation helpers and the *diff measures* that
+experiment E2 reports: how many query lines and how many templates change
+between a base site and a derived version.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..struql import Program, parse
+from ..template import TemplateSet
+from .site import SiteDefinition
+
+
+@dataclass
+class VersionDiff:
+    """The cost of deriving one site version from another."""
+
+    base: str
+    derived: str
+    #: query lines present only in the derived version
+    query_lines_added: int = 0
+    query_lines_removed: int = 0
+    #: templates whose text differs (or that only one version has)
+    templates_changed: int = 0
+    templates_shared: int = 0
+    changed_template_names: List[str] = field(default_factory=list)
+
+    @property
+    def new_queries_needed(self) -> bool:
+        return self.query_lines_added > 0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "base": self.base,
+            "derived": self.derived,
+            "query lines +": self.query_lines_added,
+            "query lines -": self.query_lines_removed,
+            "templates changed": self.templates_changed,
+            "templates shared": self.templates_shared,
+        }
+
+
+def _query_text(query: Union[Program, str]) -> List[str]:
+    if isinstance(query, Program):
+        text = query.source_text
+    else:
+        text = query
+    return [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    ]
+
+
+def diff_definitions(base: SiteDefinition, derived: SiteDefinition) -> VersionDiff:
+    """Measure what changed between two site definitions."""
+    diff = VersionDiff(base=base.name, derived=derived.name)
+    matcher = difflib.SequenceMatcher(
+        a=_query_text(base.query), b=_query_text(derived.query), autojunk=False
+    )
+    for op, a_start, a_end, b_start, b_end in matcher.get_opcodes():
+        if op in ("replace", "delete"):
+            diff.query_lines_removed += a_end - a_start
+        if op in ("replace", "insert"):
+            diff.query_lines_added += b_end - b_start
+    base_names = set(base.templates.names())
+    derived_names = set(derived.templates.names())
+    for name in sorted(base_names | derived_names):
+        base_template = base.templates.get(name)
+        derived_template = derived.templates.get(name)
+        if base_template is None or derived_template is None:
+            diff.templates_changed += 1
+            diff.changed_template_names.append(name)
+        elif base_template.source_text != derived_template.source_text:
+            diff.templates_changed += 1
+            diff.changed_template_names.append(name)
+        else:
+            diff.templates_shared += 1
+    return diff
+
+
+def derive_version(
+    base: SiteDefinition,
+    name: str,
+    query: Optional[Union[Program, str]] = None,
+    template_overrides: Optional[Dict[str, str]] = None,
+    roots: Optional[List] = None,
+) -> SiteDefinition:
+    """Create a derived site definition.
+
+    * ``query=None`` keeps the base query (template-only version, like the
+      AT&T external site);
+    * ``template_overrides`` maps template name -> new text; unmentioned
+      templates are shared verbatim (the common case: "only five HTML
+      template files differ");
+    * with a new ``query`` and no overrides, templates are shared exactly
+      (the CNN sports-only case).
+    """
+    templates = base.templates
+    if template_overrides:
+        templates = _clone_templates(base.templates, template_overrides)
+    derived_query: Union[Program, str]
+    if query is None:
+        base_program = base.program()
+        derived_query = parse(base_program.source_text) if base_program.source_text else base_program
+    else:
+        derived_query = query
+    return SiteDefinition(
+        name=name,
+        query=derived_query,
+        templates=templates,
+        roots=list(roots) if roots is not None else list(base.roots),
+        constraints=list(base.constraints),
+    )
+
+
+def _clone_templates(base: TemplateSet, overrides: Dict[str, str]) -> TemplateSet:
+    clone = TemplateSet()
+    for name in base.names():
+        template = base.get(name)
+        assert template is not None
+        text = overrides.get(name, template.source_text)
+        clone.add(name, text)
+    for name, text in overrides.items():
+        if clone.get(name) is None:
+            clone.add(name, text)
+    # copy the selection rules
+    clone._object_templates = dict(base._object_templates)
+    clone._collection_templates = dict(base._collection_templates)
+    clone._default = base._default
+    return clone

@@ -1,0 +1,128 @@
+"""Exception hierarchy for the Strudel reproduction.
+
+Every error raised by this library derives from :class:`StrudelError`, so
+callers can catch one type at an API boundary.  Subsystems raise the more
+specific subclasses below; each carries a plain-language message and, where
+useful, source positions (parsers) or offending object identifiers.
+"""
+
+from __future__ import annotations
+
+
+class StrudelError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(StrudelError):
+    """Violation of the semistructured data model.
+
+    Raised for unknown oids, attempts to mutate immutable (pre-existing)
+    nodes during query construction, or malformed edges.
+    """
+
+
+class UnknownObjectError(GraphError):
+    """An oid was referenced that does not exist in the graph."""
+
+    def __init__(self, oid: object) -> None:
+        super().__init__(f"unknown object: {oid!r}")
+        self.oid = oid
+
+
+class ImmutableNodeError(GraphError):
+    """A construction step tried to add an edge out of a pre-existing node.
+
+    STRUQL requires that edges are added only from *new* (Skolem-created)
+    nodes; nodes of the queried graph are immutable (paper section 2.2).
+    """
+
+
+class RepositoryError(StrudelError):
+    """Problems in the data repository: missing graphs, bad storage files."""
+
+
+class DDLSyntaxError(RepositoryError):
+    """Malformed Strudel data-definition-language input."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class WrapperError(StrudelError):
+    """A source wrapper could not translate its input into a graph."""
+
+
+class MediatorError(StrudelError):
+    """Misconfigured mediation: unknown sources, bad GAV mappings."""
+
+
+class StruqlError(StrudelError):
+    """Base class for STRUQL errors."""
+
+
+class StruqlSyntaxError(StruqlError):
+    """Lexical or grammatical error in a STRUQL query string."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class StruqlSemanticError(StruqlError):
+    """The query parsed but is not well formed.
+
+    Examples: a link source that is neither created nor a data-graph node,
+    an unbound variable used in a construction clause, or a Skolem function
+    applied with inconsistent arity.
+    """
+
+
+class StruqlEvaluationError(StruqlError):
+    """A runtime failure while evaluating a query (e.g. type mismatch that
+    cannot be resolved by coercion)."""
+
+
+class TemplateError(StrudelError):
+    """Base class for HTML-template language errors."""
+
+
+class TemplateSyntaxError(TemplateError):
+    """Malformed template text (bad SFMT/SIF/SFOR syntax, unclosed tags)."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class TemplateEvaluationError(TemplateError):
+    """A template referenced something the site graph cannot supply."""
+
+
+class TemplateResolutionError(TemplateError):
+    """No template could be selected for an object that must be rendered."""
+
+
+class ConstraintError(StrudelError):
+    """Malformed integrity-constraint formula."""
+
+
+class ConstraintViolation(StrudelError):
+    """An integrity constraint failed during enforcement.
+
+    Carries the constraint and the first counterexample binding found.
+    """
+
+    def __init__(self, constraint: object, witness: object = None) -> None:
+        detail = f"; counterexample: {witness!r}" if witness is not None else ""
+        super().__init__(f"integrity constraint violated: {constraint}{detail}")
+        self.constraint = constraint
+        self.witness = witness
+
+
+class SiteDefinitionError(StrudelError):
+    """The site builder was given an inconsistent specification."""

@@ -1,0 +1,60 @@
+"""Semistructured data model: labeled directed graphs, atoms, oids, schema.
+
+Public surface of the substrate every other Strudel component builds on.
+"""
+
+from .dot import to_dot
+from .graph import Edge, Graph, Target
+from .oid import Oid, OidAllocator, SkolemRegistry, skolem_term_name
+from .schema import AttributeStats, CollectionSchema, GraphSchema, summarize
+from .values import (
+    Atom,
+    AtomType,
+    atoms_equal,
+    boolean,
+    compare_atoms,
+    from_python,
+    html_file,
+    image_file,
+    integer,
+    parse_typed_value,
+    postscript_file,
+    real,
+    string,
+    text_file,
+    type_predicate,
+    type_predicate_names,
+    url,
+)
+
+__all__ = [
+    "Atom",
+    "AtomType",
+    "AttributeStats",
+    "CollectionSchema",
+    "Edge",
+    "Graph",
+    "GraphSchema",
+    "Oid",
+    "OidAllocator",
+    "SkolemRegistry",
+    "Target",
+    "atoms_equal",
+    "boolean",
+    "compare_atoms",
+    "from_python",
+    "html_file",
+    "image_file",
+    "integer",
+    "parse_typed_value",
+    "postscript_file",
+    "real",
+    "skolem_term_name",
+    "string",
+    "summarize",
+    "text_file",
+    "to_dot",
+    "type_predicate",
+    "type_predicate_names",
+    "url",
+]

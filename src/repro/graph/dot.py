@@ -1,0 +1,77 @@
+"""GraphViz (DOT) export for data and site graphs.
+
+The paper's site schemas had a visualization tool (section 6.2: "we
+built a tool to view a query's site schema"); this module provides the
+matching view of *instance* graphs -- handy when debugging wrappers or
+eyeballing a small site graph (its Fig. 2 and Fig. 4 are exactly such
+drawings).
+
+Only export is provided (layout belongs to ``dot``); atoms are drawn as
+ellipses with their value and type, nodes as boxes, collection members
+grouped into clusters when ``cluster_collections`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import Graph
+from .oid import Oid
+from .values import Atom
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    graph: Graph,
+    name: str = "graph_dump",
+    max_value_length: int = 24,
+    cluster_collections: bool = False,
+) -> str:
+    """Render a graph as DOT text."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    atom_ids: Dict[Atom, str] = {}
+
+    def atom_id(atom: Atom) -> str:
+        identifier = atom_ids.get(atom)
+        if identifier is None:
+            identifier = f"atom{len(atom_ids)}"
+            atom_ids[atom] = identifier
+            text = atom.as_string()
+            if len(text) > max_value_length:
+                text = text[: max_value_length - 1] + "…"
+            label = f"{_escape(text)}\\n({atom.type.value})"
+            lines.append(f'  {identifier} [shape=ellipse, label="{label}"];')
+        return identifier
+
+    if cluster_collections:
+        for index, collection in enumerate(graph.collection_names()):
+            lines.append(f"  subgraph cluster_{index} {{")
+            lines.append(f'    label="{_escape(collection)}";')
+            for member in graph.collection(collection):
+                lines.append(f'    "{_escape(member.name)}" [shape=box];')
+            lines.append("  }")
+        clustered = {
+            member
+            for collection in graph.collection_names()
+            for member in graph.collection(collection)
+        }
+    else:
+        clustered = set()
+
+    for oid in graph.nodes():
+        if oid not in clustered:
+            lines.append(f'  "{_escape(oid.name)}" [shape=box];')
+    for source, label, target in graph.edges():
+        if isinstance(target, Oid):
+            target_ref = f'"{_escape(target.name)}"'
+        else:
+            target_ref = atom_id(target)
+        lines.append(
+            f'  "{_escape(source.name)}" -> {target_ref} '
+            f'[label="{_escape(label)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

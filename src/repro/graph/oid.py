@@ -1,0 +1,138 @@
+"""Object identity: oids and Skolem functions.
+
+Nodes of the semistructured graph are identified by unique object
+identifiers (oids).  STRUQL creates new nodes with *Skolem functions*: by
+definition a Skolem function applied to the same inputs produces the same
+oid (paper section 2.2), which is what makes declarative site construction
+compositional -- two link clauses mentioning ``YearPage(y)`` for the same
+year talk about the same page.
+
+:class:`Oid` is a lightweight immutable handle.  :class:`OidAllocator`
+hands out fresh anonymous oids.  :class:`SkolemRegistry` memoizes
+``(function name, argument tuple) -> Oid`` per result graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .values import Atom
+
+
+@dataclass(frozen=True)
+class Oid:
+    """An object identifier.
+
+    ``name`` is a human-readable identity string.  Anonymous oids are named
+    ``&<n>``; Skolem-created oids are named after their term, e.g.
+    ``YearPage(1998)``, which makes site graphs self-describing in dumps
+    and gives stable page file names to the HTML generator.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Oid({self.name})"
+
+
+class OidAllocator:
+    """Allocates fresh anonymous oids: ``&1``, ``&2``, ...
+
+    A graph owns one allocator so that loading a dump can resume the
+    counter past the highest anonymous oid seen.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self, hint: str = "") -> Oid:
+        """Return a new, never-before-issued oid.
+
+        ``hint`` is embedded for readability (``&pub.3``) but does not
+        affect uniqueness.
+        """
+        number = next(self._counter)
+        if hint:
+            return Oid(f"&{hint}.{number}")
+        return Oid(f"&{number}")
+
+    def reserve_past(self, number: int) -> None:
+        """Ensure future oids are numbered strictly above ``number``."""
+        current = next(self._counter)
+        if current <= number:
+            self._counter = itertools.count(number + 1)
+        else:
+            self._counter = itertools.count(current)
+
+
+#: A Skolem argument is an existing node oid or an atomic value.
+SkolemArg = Tuple[object, ...]
+
+
+def _render_arg(arg: object) -> str:
+    if isinstance(arg, Oid):
+        return arg.name
+    if isinstance(arg, Atom):
+        return repr(arg.value) if isinstance(arg.value, str) else str(arg.value)
+    return repr(arg)
+
+
+def skolem_term_name(function: str, args: Tuple[object, ...]) -> str:
+    """Render a Skolem term, e.g. ``YearPage(1998)`` or ``RootPage()``."""
+    rendered = ", ".join(_render_arg(a) for a in args)
+    return f"{function}({rendered})"
+
+
+class SkolemRegistry:
+    """Memoized Skolem-function application.
+
+    The registry guarantees the defining property of Skolem functions:
+    the same ``(function, args)`` pair always yields the same oid, within
+    one registry.  A result graph owns its registry, so composed queries
+    that add to the same graph agree on node identity, while independent
+    site graphs stay disjoint.
+    """
+
+    def __init__(self) -> None:
+        self._terms: Dict[Tuple[str, Tuple[object, ...]], Oid] = {}
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def apply(self, function: str, args: Tuple[object, ...]) -> Oid:
+        """Apply Skolem function ``function`` to ``args``; memoized.
+
+        Arguments must be hashable (oids and atoms are).  The returned
+        oid's name is the rendered term, so dumps stay readable.
+        """
+        key = (function, args)
+        existing = self._terms.get(key)
+        if existing is not None:
+            return existing
+        oid = Oid(skolem_term_name(function, args))
+        self._terms[key] = oid
+        return oid
+
+    def lookup(self, function: str, args: Tuple[object, ...]) -> Optional[Oid]:
+        """Return the oid for a term if it was ever created, else None."""
+        return self._terms.get((function, args))
+
+    def terms(self) -> Iterator[Tuple[str, Tuple[object, ...], Oid]]:
+        """Iterate ``(function, args, oid)`` for every created term."""
+        for (function, args), oid in self._terms.items():
+            yield function, args, oid
+
+    def functions(self) -> frozenset:
+        """The set of Skolem function names that have been applied."""
+        return frozenset(function for function, _ in self._terms)
+
+    def instances_of(self, function: str) -> Iterator[Tuple[Tuple[object, ...], Oid]]:
+        """Iterate ``(args, oid)`` pairs for one Skolem function."""
+        for (name, args), oid in self._terms.items():
+            if name == function:
+                yield args, oid

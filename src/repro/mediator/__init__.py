@@ -1,0 +1,5 @@
+"""GAV warehousing mediator: sources + mapping queries -> the data graph."""
+
+from .mediator import MediationReport, Mediator
+
+__all__ = ["MediationReport", "Mediator"]

@@ -1,0 +1,167 @@
+"""The mediator: a uniform, integrated view of all underlying data.
+
+"STRUDEL's mediator supports data integration by providing a uniform view
+of all underlying data, irrespective of where it is stored" (paper
+section 2.1).  Two design decisions follow the paper:
+
+* **Warehousing.**  "In STRUDEL's prototype, we implemented warehousing;
+  the result of data integration is stored in STRUDEL's data repository."
+  :meth:`Mediator.materialize` wraps every source, stages them side by
+  side, runs the mappings, and stores the resulting *data graph*.
+  :meth:`Mediator.refresh` recomputes the warehouse after sources change.
+
+* **Global-as-view (GAV).**  "For each relation R in the mediated schema,
+  a query over the source relations specifies how to obtain R's tuples."
+  A mapping here is a STRUQL program over the *staging graph*, in which
+  each source's collections appear prefixed with ``<source>.`` (so two
+  sources may both have a ``Publications`` collection).  The mapping's
+  ``create``/``link``/``collect`` clauses build the mediated collections.
+
+For sources that need no restructuring, :meth:`import_collection` copies
+a source collection (with everything reachable from its members) into the
+warehouse verbatim -- cheaper than an identity mapping query and it
+preserves oids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..errors import MediatorError
+from ..graph import Graph, Oid
+from ..repository import Repository
+from ..struql import Program, evaluate, parse
+from ..wrappers import Wrapper
+
+
+@dataclass
+class _ImportSpec:
+    source: str
+    collection: str
+    target_collection: str
+
+
+@dataclass
+class MediationReport:
+    """What a materialization did: per-source and per-mapping sizes."""
+
+    source_sizes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    warehouse_size: Dict[str, int] = field(default_factory=dict)
+    mappings_run: int = 0
+    collections_imported: int = 0
+
+
+class Mediator:
+    """Registers sources + GAV mappings; materializes the data graph."""
+
+    def __init__(self, repository: Optional[Repository] = None) -> None:
+        self.repository = repository
+        self._sources: Dict[str, Wrapper] = {}
+        self._mappings: List[Program] = []
+        self._imports: List[_ImportSpec] = []
+        self.last_report: Optional[MediationReport] = None
+
+    # ------------------------------------------------------------ #
+    # configuration
+
+    def add_source(self, name: str, wrapper: Wrapper) -> None:
+        """Register a wrapped source under ``name``.
+
+        In the staging graph its collections appear as ``name.<coll>``.
+        """
+        if name in self._sources:
+            raise MediatorError(f"source {name!r} already registered")
+        self._sources[name] = wrapper
+
+    def remove_source(self, name: str) -> None:
+        if name not in self._sources:
+            raise MediatorError(f"unknown source {name!r}")
+        del self._sources[name]
+        self._imports = [spec for spec in self._imports if spec.source != name]
+
+    def source_names(self) -> List[str]:
+        return list(self._sources)
+
+    def add_mapping(self, query: Union[str, Program]) -> None:
+        """Add a GAV mapping: a STRUQL program over the staging graph."""
+        if isinstance(query, str):
+            query = parse(query)
+        self._mappings.append(query)
+
+    def import_collection(
+        self, source: str, collection: str, as_name: str = ""
+    ) -> None:
+        """Copy a source collection into the warehouse verbatim."""
+        if source not in self._sources:
+            raise MediatorError(f"unknown source {source!r}")
+        self._imports.append(
+            _ImportSpec(source, collection, as_name or collection)
+        )
+
+    # ------------------------------------------------------------ #
+    # materialization
+
+    def staging_graph(self) -> Graph:
+        """Wrap every source and merge side by side (collections prefixed)."""
+        staging = Graph("staging")
+        report = MediationReport()
+        for name, wrapper in self._sources.items():
+            wrapped = wrapper.wrap()
+            report.source_sizes[name] = wrapped.stats()
+            staging.merge(wrapped, collection_prefix=f"{name}.")
+        self.last_report = report
+        return staging
+
+    def materialize(self, name: str = "data") -> Graph:
+        """Build the warehouse data graph and store it in the repository."""
+        if not self._sources:
+            raise MediatorError("no sources registered")
+        staging = self.staging_graph()
+        report = self.last_report
+        assert report is not None
+        warehouse = Graph(name)
+        for spec in self._imports:
+            self._run_import(staging, warehouse, spec)
+            report.collections_imported += 1
+        for mapping in self._mappings:
+            evaluate(mapping, staging, into=warehouse)
+            report.mappings_run += 1
+        report.warehouse_size = warehouse.stats()
+        if self.repository is not None:
+            self.repository.store(name, warehouse)
+        return warehouse
+
+    def refresh(self, name: str = "data") -> Graph:
+        """Recompute the warehouse (sources are re-wrapped from scratch).
+
+        The paper (section 7) notes that warehousing "is inadequate for
+        sites whose data sources are large or change frequently";
+        incremental view update for semistructured data was an open
+        problem, so refresh is a full recomputation, as in the prototype.
+        """
+        return self.materialize(name)
+
+    # ------------------------------------------------------------ #
+
+    def _run_import(self, staging: Graph, warehouse: Graph, spec: _ImportSpec) -> None:
+        staged_name = f"{spec.source}.{spec.collection}"
+        members = staging.collection(staged_name)
+        if not staging.has_collection(staged_name):
+            raise MediatorError(
+                f"source {spec.source!r} has no collection {spec.collection!r}"
+            )
+        warehouse.create_collection(spec.target_collection)
+        copied: Dict[Oid, None] = {}
+        for member in members:
+            for reached in staging.reachable(member):
+                copied.setdefault(reached, None)
+        for oid in copied:
+            warehouse.add_node(oid)
+        for oid in copied:
+            for label, target in staging.out_edges(oid):
+                if isinstance(target, Oid) and target not in copied:
+                    continue
+                warehouse.add_edge(oid, label, target)
+        for member in members:
+            warehouse.add_to_collection(spec.target_collection, member)

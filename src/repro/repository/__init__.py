@@ -1,0 +1,8 @@
+"""Data repository for semistructured graphs: DDL exchange, persistence,
+full indexing of schema and data."""
+
+from . import ddl
+from .indexes import IndexStatistics, SchemaIndex
+from .store import Repository
+
+__all__ = ["IndexStatistics", "Repository", "SchemaIndex", "ddl"]

@@ -1,0 +1,113 @@
+"""Index statistics over a fully-indexed graph.
+
+The graph itself maintains the physical indexes (label extents, reverse
+adjacency / global value index, collection extents) incrementally; this
+module takes *statistical snapshots* of them for two consumers:
+
+* the STRUQL optimizer, which orders where-clause conditions by estimated
+  cardinality (:class:`IndexStatistics` supplies the estimates);
+* the repository catalog, which records per-graph size summaries.
+
+The paper (section 2.1): "Without schema information, we fully index both
+the schema and the data ... one index contains the names of all the
+collections and attributes in the graph; other indexes contain the
+extensions for each collection and attribute.  In addition, indexes on
+atomic values are global to the graph."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..graph import Atom, Graph
+
+
+@dataclass
+class IndexStatistics:
+    """Cardinality statistics snapshotted from a graph's indexes.
+
+    All estimates are exact counts at snapshot time; the optimizer treats
+    them as estimates because the graph may since have grown.
+    """
+
+    node_count: int = 0
+    edge_count: int = 0
+    label_cardinality: Dict[str, int] = field(default_factory=dict)
+    collection_cardinality: Dict[str, int] = field(default_factory=dict)
+    distinct_atoms: int = 0
+    #: per-label count of distinct atomic targets (selectivity of value tests)
+    label_distinct_values: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "IndexStatistics":
+        """Snapshot statistics from the graph's live indexes."""
+        label_distinct: Dict[str, int] = {}
+        for label in graph.labels():
+            values = {t for _, t in graph.edges_with_label(label) if isinstance(t, Atom)}
+            label_distinct[label] = len(values)
+        return cls(
+            node_count=graph.node_count,
+            edge_count=graph.edge_count,
+            label_cardinality={l: graph.label_cardinality(l) for l in graph.labels()},
+            collection_cardinality={
+                c: graph.collection_cardinality(c) for c in graph.collection_names()
+            },
+            distinct_atoms=sum(1 for _ in graph.atoms()),
+            label_distinct_values=label_distinct,
+        )
+
+    # -------------------------------------------------------------- #
+    # estimates used by the optimizer
+
+    def estimate_label_extent(self, label: str) -> int:
+        """Expected number of ``(source, target)`` pairs for a known label."""
+        return self.label_cardinality.get(label, 0)
+
+    def estimate_any_label_extent(self) -> int:
+        """Extent when the label is unknown (arc variable or wildcard)."""
+        return self.edge_count
+
+    def estimate_collection(self, name: str) -> int:
+        """Expected membership of a collection."""
+        return self.collection_cardinality.get(name, 0)
+
+    def estimate_value_lookup(self, label: str = "") -> int:
+        """Expected matches for an equality test on an atomic value.
+
+        With a known label: extent / distinct-values (classic uniformity
+        assumption); otherwise edges / distinct atoms across the graph.
+        """
+        if label:
+            extent = self.label_cardinality.get(label, 0)
+            distinct = self.label_distinct_values.get(label, 0)
+            return max(1, extent // distinct) if distinct else extent
+        if self.distinct_atoms:
+            return max(1, self.edge_count // self.distinct_atoms)
+        return self.edge_count
+
+    def average_out_degree(self) -> float:
+        """Mean out-degree, the branching factor for path expansion."""
+        return self.edge_count / self.node_count if self.node_count else 0.0
+
+
+@dataclass
+class SchemaIndex:
+    """The schema index: names of all collections and attributes.
+
+    STRUQL arc variables query this ("our query language ... can also
+    query the schema"), and the site builder's tooling lists it.
+    """
+
+    labels: List[str]
+    collections: List[str]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "SchemaIndex":
+        return cls(labels=graph.labels(), collections=graph.collection_names())
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+    def has_collection(self, name: str) -> bool:
+        return name in self.collections

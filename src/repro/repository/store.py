@@ -1,0 +1,121 @@
+"""The Strudel data repository.
+
+"A Web site's data graph and site graph are stored in STRUDEL's data
+repository" (paper section 2.1).  The repository is a directory of DDL
+files -- one per named graph -- plus an in-memory cache and a small
+catalog of per-graph statistics.  It can also be used fully in memory
+(``directory=None``), which the tests and benchmarks do.
+
+The repository deliberately has *no schema catalog to enforce*: graphs are
+semistructured, and the queryable schema is whatever
+:class:`~repro.repository.indexes.SchemaIndex` observes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..errors import RepositoryError
+from ..graph import Graph
+from . import ddl
+from .indexes import IndexStatistics, SchemaIndex
+
+_GRAPH_SUFFIX = ".ddl"
+
+
+class Repository:
+    """A store of named semistructured graphs.
+
+    Parameters
+    ----------
+    directory:
+        Backing directory for persistence, created on demand.  ``None``
+        keeps everything in memory only.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._graphs: Dict[str, Graph] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -------------------------------------------------------------- #
+    # basic CRUD
+
+    def store(self, name: str, graph: Graph, persist: bool = True) -> None:
+        """Register ``graph`` under ``name`` (and write it to disk).
+
+        Overwrites silently: storing is how graphs are refreshed after
+        mediation recomputes the warehouse.
+        """
+        if not name:
+            raise RepositoryError("graph name must be non-empty")
+        graph.name = name
+        self._graphs[name] = graph
+        if persist and self.directory is not None:
+            path = self._path(name)
+            with open(path, "w", encoding="utf-8") as handle:
+                ddl.dump(graph, handle)
+
+    def fetch(self, name: str) -> Graph:
+        """Return the named graph, loading it from disk if not cached."""
+        cached = self._graphs.get(name)
+        if cached is not None:
+            return cached
+        if self.directory is not None:
+            path = self._path(name)
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    graph = ddl.load(handle, name)
+                self._graphs[name] = graph
+                return graph
+        raise RepositoryError(f"no graph named {name!r} in the repository")
+
+    def __contains__(self, name: str) -> bool:
+        if name in self._graphs:
+            return True
+        return self.directory is not None and os.path.exists(self._path(name))
+
+    def delete(self, name: str) -> None:
+        """Forget a graph (cache and disk).  Unknown names raise."""
+        known = name in self
+        self._graphs.pop(name, None)
+        if self.directory is not None:
+            path = self._path(name)
+            if os.path.exists(path):
+                os.remove(path)
+        if not known:
+            raise RepositoryError(f"no graph named {name!r} in the repository")
+
+    def graph_names(self) -> List[str]:
+        """All graph names, cached and on disk, sorted."""
+        names = set(self._graphs)
+        if self.directory is not None:
+            for entry in os.listdir(self.directory):
+                if entry.endswith(_GRAPH_SUFFIX):
+                    names.add(entry[: -len(_GRAPH_SUFFIX)])
+        return sorted(names)
+
+    # -------------------------------------------------------------- #
+    # indexes and catalog
+
+    def statistics(self, name: str) -> IndexStatistics:
+        """Index statistics for a stored graph (optimizer input)."""
+        return IndexStatistics.from_graph(self.fetch(name))
+
+    def schema_index(self, name: str) -> SchemaIndex:
+        """The schema index (collection and attribute names) of a graph."""
+        return SchemaIndex.from_graph(self.fetch(name))
+
+    def catalog(self) -> Dict[str, Dict[str, int]]:
+        """Size summary of every stored graph."""
+        return {name: self.fetch(name).stats() for name in self.graph_names()}
+
+    # -------------------------------------------------------------- #
+
+    def _path(self, name: str) -> str:
+        if self.directory is None:
+            raise RepositoryError("repository is in-memory only")
+        safe = name.replace(os.sep, "_")
+        return os.path.join(self.directory, safe + _GRAPH_SUFFIX)

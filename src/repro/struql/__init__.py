@@ -1,0 +1,112 @@
+"""STRUQL: Strudel's declarative query and restructuring language.
+
+Typical use::
+
+    from repro.struql import parse, evaluate
+
+    site_graph = evaluate(SITE_QUERY_TEXT, data_graph)
+"""
+
+from .ast import (
+    Alternation,
+    AnyLabel,
+    CollectClause,
+    CollectionCond,
+    ComparisonCond,
+    Concat,
+    Condition,
+    Const,
+    EdgeCond,
+    LabelIs,
+    LabelPredicate,
+    LinkClause,
+    NotCond,
+    PathCond,
+    PathExpr,
+    PredicateCond,
+    Program,
+    Query,
+    SkolemTerm,
+    Star,
+    Var,
+    any_path,
+    format_query,
+)
+from .builder import (
+    ProgramBuilder,
+    QueryBuilder,
+    alt,
+    any_label,
+    arc,
+    const,
+    label,
+    seq,
+    skolem,
+    star,
+    var,
+)
+from .builtins import (
+    register_label_predicate,
+    register_object_predicate,
+)
+from .eval import Binding, Metrics, QueryEngine, Value, evaluate, query_bindings
+from .explain import explain
+from .optimizer import estimate_cost, order_conditions
+from .parser import parse, parse_query, validate_query
+from .paths import compile_path, path_exists, reverse_expr, sources_to, targets_from
+
+__all__ = [
+    "Alternation",
+    "AnyLabel",
+    "Binding",
+    "CollectClause",
+    "CollectionCond",
+    "ComparisonCond",
+    "Concat",
+    "Condition",
+    "Const",
+    "EdgeCond",
+    "LabelIs",
+    "LabelPredicate",
+    "LinkClause",
+    "Metrics",
+    "NotCond",
+    "PathCond",
+    "PathExpr",
+    "PredicateCond",
+    "Program",
+    "ProgramBuilder",
+    "Query",
+    "QueryBuilder",
+    "QueryEngine",
+    "SkolemTerm",
+    "Star",
+    "Value",
+    "Var",
+    "alt",
+    "any_label",
+    "any_path",
+    "arc",
+    "compile_path",
+    "const",
+    "estimate_cost",
+    "evaluate",
+    "explain",
+    "format_query",
+    "label",
+    "order_conditions",
+    "parse",
+    "seq",
+    "skolem",
+    "star",
+    "var",
+    "parse_query",
+    "path_exists",
+    "query_bindings",
+    "register_label_predicate",
+    "register_object_predicate",
+    "reverse_expr",
+    "sources_to",
+    "targets_from",
+    "validate_query",
+]

@@ -1,0 +1,94 @@
+"""Built-in and user-registered predicates for STRUQL.
+
+Two predicate namespaces exist, matching how the paper uses them:
+
+* **object predicates** apply to a bound object -- ``isImageFile(q)``,
+  ``isPostScript(q)``.  The atom-type checks from
+  :mod:`repro.graph.values` are pre-registered; nodes satisfy none of
+  them (they are not atoms) except ``isNode``.
+* **label predicates** apply to an edge label string inside a regular
+  path expression -- the paper's ``isName*`` example.  ``true`` (any
+  label) is built in; users register their own with
+  :func:`register_label_predicate`.
+
+Registries are module-level: a site definition is a closed world and the
+paper's predicates are global names.  Tests that register predicates
+clean up after themselves via the returned handle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..graph import Atom, Oid, type_predicate, type_predicate_names
+
+ObjectPredicate = Callable[[object], bool]
+LabelPredicate = Callable[[str], bool]
+
+_OBJECT_PREDICATES: Dict[str, ObjectPredicate] = {}
+_LABEL_PREDICATES: Dict[str, LabelPredicate] = {}
+
+
+def _install_builtins() -> None:
+    for name in type_predicate_names():
+        atom_check = type_predicate(name)
+        assert atom_check is not None
+
+        def applied(value: object, _check=atom_check) -> bool:
+            return isinstance(value, Atom) and _check(value)
+
+        _OBJECT_PREDICATES[name] = applied
+    _OBJECT_PREDICATES["isNode"] = lambda value: isinstance(value, Oid)
+    _OBJECT_PREDICATES["isAtom"] = lambda value: isinstance(value, Atom)
+
+
+_install_builtins()
+
+
+def is_object_predicate(name: str) -> bool:
+    """Is ``name`` a registered object predicate?"""
+    return name in _OBJECT_PREDICATES
+
+
+def object_predicate(name: str) -> Optional[ObjectPredicate]:
+    """Look up an object predicate by name (None if unregistered)."""
+    return _OBJECT_PREDICATES.get(name)
+
+
+def register_object_predicate(name: str, fn: ObjectPredicate) -> Callable[[], None]:
+    """Register a named object predicate; returns an unregister handle.
+
+    Registering over a built-in name is refused to keep query meaning
+    stable.
+    """
+    if name in _OBJECT_PREDICATES:
+        raise ValueError(f"object predicate {name!r} already registered")
+    _OBJECT_PREDICATES[name] = fn
+
+    def unregister() -> None:
+        _OBJECT_PREDICATES.pop(name, None)
+
+    return unregister
+
+
+def is_label_predicate(name: str) -> bool:
+    """Is ``name`` a registered label predicate?"""
+    return name in _LABEL_PREDICATES
+
+
+def label_predicate(name: str) -> Optional[LabelPredicate]:
+    """Look up a label predicate by name (None if unregistered)."""
+    return _LABEL_PREDICATES.get(name)
+
+
+def register_label_predicate(name: str, fn: LabelPredicate) -> Callable[[], None]:
+    """Register a named label predicate usable in regular path expressions;
+    returns an unregister handle."""
+    if name in _LABEL_PREDICATES:
+        raise ValueError(f"label predicate {name!r} already registered")
+    _LABEL_PREDICATES[name] = fn
+
+    def unregister() -> None:
+        _LABEL_PREDICATES.pop(name, None)
+
+    return unregister

@@ -1,0 +1,681 @@
+"""STRUQL evaluation: the query stage and the construction stage.
+
+Semantics follow paper section 2.2 exactly:
+
+* **Query stage.**  "The meaning of the where-clause is a relation
+  defined by the set of assignments from variables in the query to oid
+  and label values in the data graph that satisfy all conditions."
+  :meth:`QueryEngine.bindings` computes that relation as a list of
+  binding dicts (deduplicated -- it is a set), by pipelining the
+  conditions in planner order (or written order in naive mode) as an
+  index-nested-loop join.
+
+* **Construction stage.**  "For each row in the relation, first
+  construct all new node oids, as specified in the create clause ...
+  next, construct the new edges, as described in the link clause."
+  Skolem functions are memoized per result graph, so composed queries
+  and repeated link clauses agree on identity.  "Edges are added from
+  new nodes to new or existing nodes; existing nodes are immutable and
+  cannot be extended" -- enforced: a link source must resolve to a
+  Skolem-created node of the result graph, otherwise
+  :class:`~repro.errors.ImmutableNodeError`.
+
+Nested blocks extend the parent's binding relation with their own
+conditions and run their own construction clauses per extended row.
+
+Binding values are :class:`~repro.graph.Oid` (nodes),
+:class:`~repro.graph.Atom` (atomic values), or ``str`` (arc-variable
+labels -- "elements of the graph's schema").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import (
+    ImmutableNodeError,
+    StruqlEvaluationError,
+)
+from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
+from ..repository.indexes import IndexStatistics
+from . import builtins
+from .ast import (
+    CollectClause,
+    CollectionCond,
+    ComparisonCond,
+    Condition,
+    Const,
+    EdgeCond,
+    LinkClause,
+    NotCond,
+    PathCond,
+    PathExpr,
+    PredicateCond,
+    Program,
+    Query,
+    SkolemTerm,
+    Var,
+)
+from .optimizer import order_conditions, shared_not_variables
+from .parser import parse
+from .paths import NFA, compile_path, path_exists, reverse_expr, sources_to, targets_from
+
+#: A binding value: node oid, atomic value, or arc-variable label.
+Value = Union[Oid, Atom, str]
+Binding = Dict[str, Value]
+
+
+@dataclass
+class Metrics:
+    """Counters the benchmarks read after an evaluation."""
+
+    bindings_produced: int = 0
+    edges_examined: int = 0
+    conditions_evaluated: int = 0
+    nodes_created: int = 0
+    edges_created: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# value plumbing
+
+
+def _as_atom(value: Value) -> Optional[Atom]:
+    if isinstance(value, Atom):
+        return value
+    if isinstance(value, str):
+        return Atom(AtomType.STRING, value)
+    return None
+
+
+def _values_equal(left: Value, right: Value) -> bool:
+    left_is_oid = isinstance(left, Oid)
+    right_is_oid = isinstance(right, Oid)
+    if left_is_oid or right_is_oid:
+        return left == right
+    left_atom, right_atom = _as_atom(left), _as_atom(right)
+    assert left_atom is not None and right_atom is not None
+    return atoms_equal(left_atom, right_atom)
+
+
+def _coercion_probes(value: Value) -> List[Atom]:
+    """Atoms to probe in exact-match indexes for a coercing equality.
+
+    The reverse-adjacency (value) index is exact, but STRUQL equality
+    coerces; so a constant ``"1998"`` must also probe the INTEGER and
+    FLOAT spellings, and vice versa.
+    """
+    atom = _as_atom(value)
+    if atom is None:
+        return []
+    probes: List[Atom] = [atom]
+    number = atom.as_number()
+    if number is not None:
+        as_int = Atom(AtomType.INTEGER, int(number)) if number == int(number) else None
+        candidates = [as_int, Atom(AtomType.FLOAT, float(number))]
+        text = atom.as_string()
+        for atom_type in (AtomType.STRING, AtomType.URL):
+            candidates.append(Atom(atom_type, text))
+        if number == int(number):
+            candidates.append(Atom(AtomType.STRING, str(int(number))))
+        for candidate in candidates:
+            if candidate is not None and candidate not in probes:
+                probes.append(candidate)
+    else:
+        text = atom.as_string()
+        for atom_type in (AtomType.STRING, AtomType.URL, AtomType.TEXT_FILE):
+            candidate = Atom(atom_type, text)
+            if candidate not in probes:
+                probes.append(candidate)
+    return probes
+
+
+# ---------------------------------------------------------------------- #
+# the query stage
+
+
+class QueryEngine:
+    """Evaluates where-clauses over one graph.
+
+    ``optimize=False`` keeps the written condition order;
+    ``use_indexes=False`` additionally replaces index lookups with full
+    scans (the E5 ablation baseline).  Both default on.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        optimize: bool = True,
+        use_indexes: bool = True,
+        stats: Optional[IndexStatistics] = None,
+    ) -> None:
+        self.graph = graph
+        self.optimize = optimize
+        self.use_indexes = use_indexes
+        self.stats = stats or IndexStatistics.from_graph(graph)
+        self.metrics = Metrics()
+        self._nfa_cache: Dict[int, Tuple[NFA, NFA]] = {}
+
+    # ------------------------------------------------------------ #
+
+    def bindings(
+        self,
+        conditions: Sequence[Condition],
+        initial: Optional[Iterable[Binding]] = None,
+    ) -> List[Binding]:
+        """The binding relation of a conjunction of conditions.
+
+        ``initial`` seeds the pipeline (used for nested blocks); default
+        is the single empty binding.  The result is deduplicated.
+        """
+        rows: List[Binding] = [dict(b) for b in (initial if initial is not None else [{}])]
+        if not conditions:
+            return _dedupe(rows)
+        bound = frozenset().union(*[frozenset(b) for b in rows]) if rows else frozenset()
+        if self.optimize:
+            ordered = order_conditions(conditions, bound, self.stats, self.use_indexes)
+        else:
+            ordered = list(conditions)
+        for condition in ordered:
+            self.metrics.conditions_evaluated += 1
+            next_rows: List[Binding] = []
+            for row in rows:
+                next_rows.extend(self._extend(condition, row, conditions))
+            rows = next_rows
+            if not rows:
+                break
+        self.metrics.bindings_produced += len(rows)
+        return _dedupe(rows)
+
+    # ------------------------------------------------------------ #
+    # per-condition extension
+
+    def _extend(
+        self, condition: Condition, binding: Binding, siblings: Sequence[Condition]
+    ) -> Iterator[Binding]:
+        if isinstance(condition, CollectionCond):
+            yield from self._extend_collection(condition, binding)
+        elif isinstance(condition, EdgeCond):
+            yield from self._extend_edge(condition, binding)
+        elif isinstance(condition, PathCond):
+            yield from self._extend_path(condition, binding)
+        elif isinstance(condition, ComparisonCond):
+            yield from self._extend_comparison(condition, binding)
+        elif isinstance(condition, PredicateCond):
+            yield from self._extend_predicate(condition, binding)
+        elif isinstance(condition, NotCond):
+            yield from self._extend_not(condition, binding, siblings)
+        else:
+            raise StruqlEvaluationError(f"unknown condition type: {condition!r}")
+
+    def _extend_collection(
+        self, condition: CollectionCond, binding: Binding
+    ) -> Iterator[Binding]:
+        value = binding.get(condition.var.name)
+        members = self.graph.collection(condition.collection)
+        if value is not None:
+            if self.use_indexes:
+                hit = isinstance(value, Oid) and self.graph.in_collection(
+                    condition.collection, value
+                )
+            else:
+                hit = value in members
+            if hit:
+                yield binding
+            return
+        for member in members:
+            extended = dict(binding)
+            extended[condition.var.name] = member
+            yield extended
+
+    def _resolve_label(self, label: Union[str, Var], binding: Binding) -> Tuple[Optional[str], Optional[str]]:
+        """Returns (label string or None if unbound, arc-var name or None)."""
+        if isinstance(label, str):
+            return label, None
+        bound = binding.get(label.name)
+        if bound is None:
+            return None, label.name
+        if isinstance(bound, str):
+            return bound, None
+        if isinstance(bound, Atom):
+            return bound.as_string(), None
+        return None, None  # bound to an oid: can never label an edge
+
+    def _extend_edge(self, condition: EdgeCond, binding: Binding) -> Iterator[Binding]:
+        label_value, arc_var = self._resolve_label(condition.label, binding)
+        if label_value is None and arc_var is None:
+            return  # arc variable bound to a non-label value
+        source_value = binding.get(condition.source.name)
+        target = condition.target
+        if isinstance(target, Const):
+            target_value: Optional[Value] = target.atom
+            target_var: Optional[str] = None
+        else:
+            target_value = binding.get(target.name)
+            target_var = target.name if target_value is None else None
+
+        def emit(source: Oid, label: str, edge_target: Target) -> Iterator[Binding]:
+            extended = dict(binding)
+            if condition.source.name not in extended:
+                extended[condition.source.name] = source
+            if arc_var is not None:
+                extended[arc_var] = label
+            if target_var is not None:
+                extended[target_var] = edge_target
+            yield extended
+
+        if not self.use_indexes:
+            yield from self._edge_scan(
+                condition, binding, source_value, label_value, target_value, emit
+            )
+            return
+
+        if source_value is not None:
+            if not isinstance(source_value, Oid) or not self.graph.has_node(source_value):
+                return
+            if label_value is not None:
+                candidates: Iterable[Tuple[str, Target]] = (
+                    (label_value, t) for t in self.graph.targets(source_value, label_value)
+                )
+            else:
+                candidates = self.graph.out_edges(source_value)
+            for label, edge_target in candidates:
+                self.metrics.edges_examined += 1
+                if target_value is not None and not _values_equal(edge_target, target_value):
+                    continue
+                yield from emit(source_value, label, edge_target)
+            return
+
+        if target_value is not None:
+            probes: List[Target]
+            if isinstance(target_value, Oid):
+                probes = [target_value]
+            else:
+                probes = list(_coercion_probes(target_value))
+            seen: Set[Tuple[Oid, str]] = set()
+            for probe in probes:
+                for source, label in self.graph.in_edges(probe):
+                    self.metrics.edges_examined += 1
+                    if label_value is not None and label != label_value:
+                        continue
+                    if (source, label) in seen:
+                        continue
+                    seen.add((source, label))
+                    yield from emit(source, label, probe)
+            return
+
+        if label_value is not None:
+            for source, edge_target in self.graph.edges_with_label(label_value):
+                self.metrics.edges_examined += 1
+                yield from emit(source, label_value, edge_target)
+            return
+        for source, label, edge_target in self.graph.edges():
+            self.metrics.edges_examined += 1
+            yield from emit(source, label, edge_target)
+
+    def _edge_scan(
+        self,
+        condition: EdgeCond,
+        binding: Binding,
+        source_value: Optional[Value],
+        label_value: Optional[str],
+        target_value: Optional[Value],
+        emit,
+    ) -> Iterator[Binding]:
+        """Index-free full scan (naive mode)."""
+        for source, label, edge_target in self.graph.edges():
+            self.metrics.edges_examined += 1
+            if source_value is not None and source != source_value:
+                continue
+            if label_value is not None and label != label_value:
+                continue
+            if target_value is not None and not _values_equal(edge_target, target_value):
+                continue
+            yield from emit(source, label, edge_target)
+
+    def _nfas(self, path: PathExpr) -> Tuple[NFA, NFA]:
+        cached = self._nfa_cache.get(id(path))
+        if cached is None:
+            cached = (compile_path(path), compile_path(reverse_expr(path)))
+            self._nfa_cache[id(path)] = cached
+        return cached
+
+    def _extend_path(self, condition: PathCond, binding: Binding) -> Iterator[Binding]:
+        forward, backward = self._nfas(condition.path)
+        source_value = binding.get(condition.source.name)
+        target = condition.target
+        if isinstance(target, Const):
+            target_value: Optional[Value] = target.atom
+            target_var: Optional[str] = None
+        else:
+            target_value = binding.get(target.name)
+            target_var = target.name if target_value is None else None
+
+        if source_value is not None:
+            if not isinstance(source_value, Oid) or not self.graph.has_node(source_value):
+                return
+            if target_value is not None:
+                probes = (
+                    [target_value]
+                    if isinstance(target_value, Oid)
+                    else list(_coercion_probes(target_value))
+                )
+                if any(path_exists(self.graph, forward, source_value, p) for p in probes):
+                    yield binding
+                return
+            for reached in targets_from(self.graph, forward, source_value):
+                extended = dict(binding)
+                assert target_var is not None
+                extended[target_var] = reached
+                yield extended
+            return
+
+        if target_value is not None:
+            probes = (
+                [target_value]
+                if isinstance(target_value, Oid)
+                else list(_coercion_probes(target_value))
+            )
+            found: Dict[Oid, None] = {}
+            if self.use_indexes:
+                for probe in probes:
+                    for source in sources_to(self.graph, backward, probe):
+                        found.setdefault(source, None)
+            else:
+                for source in self.graph.nodes():
+                    if any(path_exists(self.graph, forward, source, p) for p in probes):
+                        found.setdefault(source, None)
+            for source in found:
+                extended = dict(binding)
+                extended[condition.source.name] = source
+                yield extended
+            return
+
+        for source in list(self.graph.nodes()):
+            for reached in targets_from(self.graph, forward, source):
+                extended = dict(binding)
+                extended[condition.source.name] = source
+                assert target_var is not None
+                extended[target_var] = reached
+                yield extended
+
+    def _extend_comparison(
+        self, condition: ComparisonCond, binding: Binding
+    ) -> Iterator[Binding]:
+        left = self._term_value(condition.left, binding)
+        right = self._term_value(condition.right, binding)
+        if left is None and right is None:
+            raise StruqlEvaluationError(
+                f"comparison {condition} has no bound side; "
+                "reorder the query or enable the optimizer"
+            )
+        if left is None or right is None:
+            if condition.op != "=":
+                raise StruqlEvaluationError(
+                    f"order comparison {condition} requires both sides bound"
+                )
+            unbound = condition.left if left is None else condition.right
+            bound_value = right if left is None else left
+            assert isinstance(unbound, Var) and bound_value is not None
+            extended = dict(binding)
+            extended[unbound.name] = bound_value
+            yield extended
+            return
+        if self._compare(left, right, condition.op):
+            yield binding
+
+    @staticmethod
+    def _term_value(term, binding: Binding) -> Optional[Value]:
+        if isinstance(term, Const):
+            return term.atom
+        return binding.get(term.name)
+
+    @staticmethod
+    def _compare(left: Value, right: Value, op: str) -> bool:
+        if op == "=":
+            return _values_equal(left, right)
+        if op == "!=":
+            return not _values_equal(left, right)
+        left_atom, right_atom = _as_atom(left), _as_atom(right)
+        if left_atom is None or right_atom is None:
+            return False  # oids are not ordered
+        sign = compare_atoms(left_atom, right_atom)
+        return {"<": sign < 0, "<=": sign <= 0, ">": sign > 0, ">=": sign >= 0}[op]
+
+    def _extend_predicate(
+        self, condition: PredicateCond, binding: Binding
+    ) -> Iterator[Binding]:
+        value = binding.get(condition.var.name)
+        if value is None:
+            raise StruqlEvaluationError(
+                f"predicate {condition} applied to unbound variable"
+            )
+        predicate = builtins.object_predicate(condition.name)
+        if predicate is None:
+            raise StruqlEvaluationError(f"unknown predicate {condition.name!r}")
+        probe: object = value
+        if isinstance(value, str):
+            probe = Atom(AtomType.STRING, value)
+        if predicate(probe):
+            yield binding
+
+    def _extend_not(
+        self, condition: NotCond, binding: Binding, siblings: Sequence[Condition]
+    ) -> Iterator[Binding]:
+        needed = shared_not_variables(condition, siblings)
+        missing = [name for name in needed if name not in binding]
+        if missing:
+            raise StruqlEvaluationError(
+                f"negation {condition} checked before {missing} were bound"
+            )
+        inner_rows = self.bindings(list(condition.inner), initial=[binding])
+        if not inner_rows:
+            yield binding
+
+
+def _dedupe(rows: List[Binding]) -> List[Binding]:
+    seen: Set[Tuple[Tuple[str, Value], ...]] = set()
+    out: List[Binding] = []
+    for row in rows:
+        key = tuple(sorted(row.items(), key=lambda item: item[0]))
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# the construction stage
+
+
+class _Constructor:
+    """Applies create/link/collect clauses of a query tree to a result graph.
+
+    When a link or collect clause references a *data-graph* node (allowed:
+    "each node in link or collect is either mentioned in create or is a
+    node in the data graph"), that node is imported into the result graph
+    together with everything reachable from it -- the site graph "models
+    both the site's content and structure", so referenced content must be
+    renderable from the site graph alone.  Imported nodes stay immutable.
+    """
+
+    def __init__(self, result: Graph, metrics: Metrics, source: Graph) -> None:
+        self.result = result
+        self.metrics = metrics
+        self.source = source
+        self._new_nodes: Set[Oid] = {oid for _, _, oid in result.skolems.terms()}
+        self._imported: Set[Oid] = set()
+
+    def run(self, query: Query, rows: List[Binding], engine: QueryEngine) -> None:
+        for row in rows:
+            self._construct_row(query, row)
+        for block in query.blocks:
+            block_rows = engine.bindings(block.where, initial=rows)
+            self.run(block, block_rows, engine)
+
+    # ------------------------------------------------------------ #
+
+    def _construct_row(self, query: Query, row: Binding) -> None:
+        for term in query.create:
+            self._skolem(term, row)
+        for link in query.link:
+            self._link(link, row)
+        for collect in query.collect:
+            node = self._resolve_node(collect.node, row, importing=True)
+            self.result.add_to_collection(collect.collection, node)
+
+    def _skolem(self, term: SkolemTerm, row: Binding) -> Oid:
+        args: List[object] = []
+        for arg in term.args:
+            if isinstance(arg, Const):
+                args.append(arg.atom)
+                continue
+            value = row.get(arg.name)
+            if value is None:
+                raise StruqlEvaluationError(
+                    f"Skolem argument {arg.name!r} unbound in {term}"
+                )
+            if isinstance(value, str):
+                value = Atom(AtomType.STRING, value)
+            args.append(value)
+        before = self.result.node_count
+        oid = self.result.skolem(term.function, *args)
+        if self.result.node_count > before:
+            self.metrics.nodes_created += 1
+        self._new_nodes.add(oid)
+        return oid
+
+    def _resolve_node(
+        self, ref, row: Binding, importing: bool
+    ) -> Oid:
+        if isinstance(ref, SkolemTerm):
+            return self._skolem(ref, row)
+        value = row.get(ref.name)
+        if not isinstance(value, Oid):
+            raise StruqlEvaluationError(
+                f"variable {ref.name!r} does not denote a node (got {value!r})"
+            )
+        if not self.result.has_node(value):
+            if not importing:
+                raise StruqlEvaluationError(f"node {value} not present in result graph")
+            self._import_subgraph(value)
+        return value
+
+    def _import_subgraph(self, root: Oid) -> None:
+        """Copy a data-graph node and its reachable closure into the result."""
+        if root in self._imported or not self.source.has_node(root):
+            self.result.add_node(root)
+            return
+        reached = self.source.reachable(root)
+        for oid in reached:
+            self.result.add_node(oid)
+            self._imported.add(oid)
+        for oid in reached:
+            for label, target in self.source.out_edges(oid):
+                self.result.add_edge(oid, label, target)
+
+    def _link(self, link: LinkClause, row: Binding) -> None:
+        source = self._resolve_node(link.source, row, importing=False) \
+            if isinstance(link.source, SkolemTerm) else self._resolve_source_var(link.source, row)
+        if isinstance(link.label, str):
+            label = link.label
+        else:
+            bound = row.get(link.label.name)
+            if isinstance(bound, Atom):
+                label = bound.as_string()
+            elif isinstance(bound, str):
+                label = bound
+            else:
+                raise StruqlEvaluationError(
+                    f"arc variable {link.label.name!r} is not bound to a label"
+                )
+        target = self._resolve_target(link.target, row)
+        before = self.result.edge_count
+        self.result.add_edge(source, label, target)
+        if self.result.edge_count > before:
+            self.metrics.edges_created += 1
+
+    def _resolve_source_var(self, ref: Var, row: Binding) -> Oid:
+        value = row.get(ref.name)
+        if not isinstance(value, Oid):
+            raise StruqlEvaluationError(
+                f"link source {ref.name!r} does not denote a node (got {value!r})"
+            )
+        if value not in self._new_nodes:
+            raise ImmutableNodeError(
+                f"link source {value} is an existing node; STRUQL only adds "
+                "edges out of new (Skolem-created) nodes"
+            )
+        return value
+
+    def _resolve_target(self, target, row: Binding) -> Target:
+        if isinstance(target, SkolemTerm):
+            return self._skolem(target, row)
+        if isinstance(target, Const):
+            return target.atom
+        value = row.get(target.name)
+        if value is None:
+            raise StruqlEvaluationError(f"link target {target.name!r} unbound")
+        if isinstance(value, Oid):
+            if not self.result.has_node(value):
+                self._import_subgraph(value)
+            return value
+        if isinstance(value, str):
+            return Atom(AtomType.STRING, value)
+        return value
+
+
+# ---------------------------------------------------------------------- #
+# public API
+
+
+def evaluate(
+    program: Union[Program, Query, str],
+    source: Graph,
+    into: Optional[Graph] = None,
+    optimize: bool = True,
+    use_indexes: bool = True,
+    metrics: Optional[Metrics] = None,
+) -> Graph:
+    """Evaluate a STRUQL program over ``source`` and return the result graph.
+
+    ``into`` composes onto an existing graph ("queries [may] add nodes and
+    arcs to a graph", section 6.2); passing ``into=source`` queries a
+    graph while extending it, with the binding relation computed before
+    construction starts (the where stage sees a consistent snapshot
+    because rows are fully materialized per block).
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    if isinstance(program, Query):
+        program = Program(queries=[program])
+    result = into if into is not None else Graph()
+    shared_metrics = metrics or Metrics()
+    for query in program.queries:
+        engine = QueryEngine(source, optimize=optimize, use_indexes=use_indexes)
+        engine.metrics = shared_metrics
+        rows = engine.bindings(query.where, initial=[{}])
+        _Constructor(result, shared_metrics, source).run(query, rows, engine)
+    return result
+
+
+def query_bindings(
+    text: Union[str, Sequence[Condition]],
+    graph: Graph,
+    optimize: bool = True,
+    use_indexes: bool = True,
+) -> List[Binding]:
+    """Evaluate just a where-clause and return its binding relation.
+
+    Accepts either a full query text (its first query's where clause is
+    used) or a pre-built condition list.  Handy for ad-hoc querying and
+    for the test suite.
+    """
+    if isinstance(text, str):
+        program = parse(text)
+        conditions: Sequence[Condition] = program.queries[0].where
+    else:
+        conditions = text
+    engine = QueryEngine(graph, optimize=optimize, use_indexes=use_indexes)
+    return engine.bindings(conditions)

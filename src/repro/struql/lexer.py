@@ -1,0 +1,112 @@
+"""Tokenizer for STRUQL query text.
+
+Token kinds:
+
+* ``ident`` -- identifiers; primes are allowed (``q'``), matching the
+  paper's variable style;
+* ``string`` -- double-quoted edge labels and constants, with backslash
+  escapes;
+* ``number`` -- integer or decimal literals;
+* ``arrow`` -- ``->``;
+* ``op`` -- comparison operators ``= != < <= > >=``;
+* ``punct`` -- ``( ) { } , . | *``.
+
+``//`` and ``#`` start comments running to end of line.  Keywords
+(``where create link collect not true in``) are returned as ``ident``
+tokens; the parser gives them meaning positionally, so they remain usable
+as collection names where unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import StruqlSyntaxError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+_NUMBER = re.compile(r"\d+(\.\d+)?")
+
+KEYWORDS = frozenset({"where", "create", "link", "collect", "not", "true", "in"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a full query text; raises StruqlSyntaxError with position."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        position = 0
+        length = len(line)
+        while position < length:
+            char = line[position]
+            if char in " \t\r":
+                position += 1
+                continue
+            if char == "#" or line.startswith("//", position):
+                break
+            if line.startswith("->", position):
+                yield Token("arrow", "->", line_no, position + 1)
+                position += 2
+                continue
+            if line.startswith("!=", position) or line.startswith("<=", position) or line.startswith(">=", position):
+                yield Token("op", line[position : position + 2], line_no, position + 1)
+                position += 2
+                continue
+            if char in "=<>":
+                yield Token("op", char, line_no, position + 1)
+                position += 1
+                continue
+            if char == '"':
+                value, end = _read_string(line, position, line_no)
+                yield Token("string", value, line_no, position + 1)
+                position = end
+                continue
+            if char.isdigit():
+                match = _NUMBER.match(line, position)
+                assert match is not None
+                yield Token("number", match.group(0), line_no, position + 1)
+                position = match.end()
+                continue
+            match = _IDENT.match(line, position)
+            if match:
+                yield Token("ident", match.group(0), line_no, position + 1)
+                position = match.end()
+                continue
+            if char in "(){},.|*":
+                yield Token("punct", char, line_no, position + 1)
+                position += 1
+                continue
+            raise StruqlSyntaxError(f"unexpected character {char!r}", line_no, position + 1)
+
+
+def _read_string(line: str, position: int, line_no: int) -> tuple:
+    out: List[str] = []
+    index = position + 1
+    while index < len(line):
+        char = line[index]
+        if char == "\\":
+            if index + 1 >= len(line):
+                raise StruqlSyntaxError("dangling backslash in string", line_no, index + 1)
+            escape = line[index + 1]
+            out.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            index += 2
+            continue
+        if char == '"':
+            return "".join(out), index + 1
+        out.append(char)
+        index += 1
+    raise StruqlSyntaxError("unterminated string literal", line_no, position + 1)

@@ -1,0 +1,451 @@
+"""Recursive-descent parser for STRUQL.
+
+Concrete syntax (see the paper's Fig. 3 for the style)::
+
+    where  Publications(x), x -> "year" -> y, not(isImageFile(x))
+    create AbstractPage(x), PaperPresentation(x)
+    link   AbstractsPage() -> "Abstract" -> AbstractPage(x),
+           PaperPresentation(x) -> l -> v
+    collect Pubs(x)
+    {
+      where x -> "category" -> c
+      create CategoryPage(c)
+      link   CategoryPage(c) -> "Paper" -> PaperPresentation(x)
+    }
+
+Notes on disambiguation:
+
+* ``Name(x)`` in a where clause is a *predicate* condition when ``Name``
+  is a registered object predicate, else a *collection* condition.
+* Between arrows, a double-quoted string is a single-edge label constant,
+  a bare identifier is an arc variable (single edge, label bound) unless
+  it is a registered label predicate, ``*`` alone is "any path", and any
+  composite expression (``.``, ``|``, ``*``-postfix, parentheses,
+  ``true``) is a regular path expression.  This follows section 2.2:
+  ``x -> R -> y`` vs. ``x -> L -> y``.
+* A program is a sequence of queries; each query is a run of clauses
+  (``where``/``create``/``link``/``collect`` in any order, each at most
+  once) followed by zero or more ``{ ... }`` nested blocks.
+
+Blocks are named ``Q1, Q2, ...`` in depth-first document order; those
+names label site-schema edges (the paper's Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple, Union
+
+from ..errors import StruqlSemanticError, StruqlSyntaxError
+from ..graph import Atom, AtomType
+from . import builtins
+from .ast import (
+    Alternation,
+    AnyLabel,
+    CollectClause,
+    CollectionCond,
+    ComparisonCond,
+    Concat,
+    Condition,
+    Const,
+    EdgeCond,
+    LabelIs,
+    LabelPredicate,
+    LinkClause,
+    NotCond,
+    PathCond,
+    PathExpr,
+    PredicateCond,
+    Program,
+    Query,
+    SkolemTerm,
+    Star,
+    Term,
+    Var,
+    any_path,
+)
+from .lexer import Token, tokenize
+
+_CLAUSE_KEYWORDS = ("where", "create", "link", "collect")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+        self._block_counter = 0
+
+    # ---------------------------------------------------------------- #
+    # token plumbing
+
+    def _peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self._index + ahead
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise StruqlSyntaxError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _match(self, kind: str, text: str = "") -> Optional[Token]:
+        token = self._peek()
+        if token is None or token.kind != kind or (text and token.text != text):
+            return None
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._peek()
+        if token is None:
+            raise StruqlSyntaxError(f"expected {text or kind!r}, got end of query")
+        if token.kind != kind or (text and token.text != text):
+            raise StruqlSyntaxError(
+                f"expected {text or kind!r}, got {token.text!r}", token.line, token.column
+            )
+        self._index += 1
+        return token
+
+    @property
+    def _exhausted(self) -> bool:
+        return self._peek() is None
+
+    # ---------------------------------------------------------------- #
+    # program / query / block
+
+    def parse_program(self) -> Program:
+        queries: List[Query] = []
+        while not self._exhausted:
+            queries.append(self._parse_query())
+        if not queries:
+            raise StruqlSyntaxError("empty query text")
+        return Program(queries=queries)
+
+    def _parse_query(self) -> Query:
+        """One query: clauses in canonical order, then nested blocks.
+
+        Clause order is ``where``, ``create``, ``link``, ``collect``, each
+        optional, each at most once.  A clause keyword that would be out
+        of order *ends* the current query and begins the next one; this
+        is how a multi-query program needs no explicit separator.
+        """
+        self._block_counter += 1
+        query = Query(name=f"Q{self._block_counter}")
+        progress = -1
+        saw_any = False
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "ident" or token.text not in _CLAUSE_KEYWORDS:
+                break
+            rank = _CLAUSE_KEYWORDS.index(token.text)
+            if rank <= progress:
+                break  # next query begins
+            progress = rank
+            saw_any = True
+            keyword = self._next().text
+            if keyword == "where":
+                query.where = self._parse_condition_list()
+            elif keyword == "create":
+                query.create = self._parse_separated(self._parse_skolem_term)
+            elif keyword == "link":
+                query.link = self._parse_separated(self._parse_link_clause)
+            else:
+                query.collect = self._parse_separated(self._parse_collect_clause)
+        if not saw_any:
+            token = self._peek()
+            where = token.text if token else "end of query"
+            raise StruqlSyntaxError(
+                f"expected a clause keyword, got {where!r}",
+                token.line if token else 0,
+                token.column if token else 0,
+            )
+        while self._match("punct", "{"):
+            query.blocks.append(self._parse_query())
+            self._expect("punct", "}")
+        return query
+
+    def _parse_separated(self, parse_one) -> List:
+        items = [parse_one()]
+        while self._match("punct", ","):
+            items.append(parse_one())
+        return items
+
+    # ---------------------------------------------------------------- #
+    # where-clause conditions
+
+    def _parse_condition_list(self) -> List[Condition]:
+        return self._parse_separated(self._parse_condition)
+
+    def _parse_condition(self) -> Condition:
+        token = self._peek()
+        if token is None:
+            raise StruqlSyntaxError("expected a condition, got end of query")
+        if token.kind == "ident" and token.text == "not":
+            return self._parse_not()
+        follower = self._peek(1)
+        if (
+            token.kind in ("ident", "string")
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.text == "("
+        ):
+            return self._parse_membership_or_predicate()
+        left = self._parse_term()
+        if self._match("arrow"):
+            return self._parse_edge_or_path(left, token)
+        op = self._peek()
+        if op is not None and op.kind == "op":
+            self._next()
+            right = self._parse_term()
+            return ComparisonCond(left=left, op=op.text, right=right)
+        raise StruqlSyntaxError(
+            f"expected '->' or a comparison after {token.text!r}", token.line, token.column
+        )
+
+    def _parse_not(self) -> Condition:
+        self._expect("ident", "not")
+        self._expect("punct", "(")
+        inner = [self._parse_condition()]
+        while self._match("punct", ","):
+            inner.append(self._parse_condition())
+        self._expect("punct", ")")
+        return NotCond(inner=tuple(inner))
+
+    def _parse_membership_or_predicate(self) -> Condition:
+        name = self._next()  # ident, or string for quoted collection names
+        self._expect("punct", "(")
+        var_token = self._expect("ident")
+        self._expect("punct", ")")
+        var = Var(var_token.text)
+        if name.kind == "ident" and builtins.is_object_predicate(name.text):
+            return PredicateCond(name=name.text, var=var)
+        return CollectionCond(collection=name.text, var=var)
+
+    def _parse_edge_or_path(self, source: Term, start: Token) -> Condition:
+        if not isinstance(source, Var):
+            raise StruqlSyntaxError(
+                "edge source must be a variable", start.line, start.column
+            )
+        label_or_path = self._parse_path_expression()
+        self._expect("arrow")
+        target = self._parse_term()
+        simple = self._as_single_edge(label_or_path)
+        if simple is not None:
+            return EdgeCond(source=source, label=simple, target=target)
+        return PathCond(source=source, path=label_or_path, target=target)
+
+    def _as_single_edge(self, path: PathExpr) -> Optional[Union[str, Var]]:
+        """Recognize x -> L -> y (arc variable) and x -> "label" -> y."""
+        if isinstance(path, LabelIs):
+            return path.label
+        if isinstance(path, LabelPredicate) and not builtins.is_label_predicate(path.name):
+            return Var(path.name)
+        return None
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "ident":
+            if token.text == "true":
+                return Const(Atom(AtomType.BOOLEAN, True))
+            if token.text == "false":
+                return Const(Atom(AtomType.BOOLEAN, False))
+            return Var(token.text)
+        if token.kind == "string":
+            return Const(Atom(AtomType.STRING, token.text))
+        if token.kind == "number":
+            if "." in token.text:
+                return Const(Atom(AtomType.FLOAT, float(token.text)))
+            return Const(Atom(AtomType.INTEGER, int(token.text)))
+        raise StruqlSyntaxError(
+            f"expected a variable or constant, got {token.text!r}", token.line, token.column
+        )
+
+    # ---------------------------------------------------------------- #
+    # regular path expressions:  path ::= concat ('|' concat)*
+    #                            concat ::= starred ('.' starred)*
+    #                            starred ::= primary '*'*
+    #                            primary ::= '(' path ')' | STRING | 'true'
+    #                                      | IDENT | '*'
+
+    def _parse_path_expression(self) -> PathExpr:
+        options = [self._parse_path_concat()]
+        while self._match("punct", "|"):
+            options.append(self._parse_path_concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(options=tuple(options))
+
+    def _parse_path_concat(self) -> PathExpr:
+        parts = [self._parse_path_starred()]
+        while self._match("punct", "."):
+            parts.append(self._parse_path_starred())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(parts=tuple(parts))
+
+    def _parse_path_starred(self) -> PathExpr:
+        expr = self._parse_path_primary()
+        while self._match("punct", "*"):
+            expr = Star(inner=expr)
+        return expr
+
+    def _parse_path_primary(self) -> PathExpr:
+        token = self._next()
+        if token.kind == "punct" and token.text == "(":
+            inner = self._parse_path_expression()
+            self._expect("punct", ")")
+            return inner
+        if token.kind == "string":
+            return LabelIs(label=token.text)
+        if token.kind == "punct" and token.text == "*":
+            return any_path()
+        if token.kind == "ident":
+            if token.text == "true":
+                return AnyLabel()
+            return LabelPredicate(name=token.text)
+        raise StruqlSyntaxError(
+            f"expected a path expression, got {token.text!r}", token.line, token.column
+        )
+
+    # ---------------------------------------------------------------- #
+    # construction clauses
+
+    def _parse_skolem_term(self) -> SkolemTerm:
+        name = self._expect("ident")
+        self._expect("punct", "(")
+        args: List[Term] = []
+        if not self._match("punct", ")"):
+            args.append(self._parse_skolem_arg())
+            while self._match("punct", ","):
+                args.append(self._parse_skolem_arg())
+            self._expect("punct", ")")
+        return SkolemTerm(function=name.text, args=tuple(args))
+
+    def _parse_skolem_arg(self) -> Term:
+        token = self._peek()
+        follower = self._peek(1)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.text == "("
+        ):
+            raise StruqlSyntaxError(
+                "nested Skolem terms are not supported as arguments",
+                token.line,
+                token.column,
+            )
+        return self._parse_term()
+
+    def _parse_node_ref(self) -> Union[SkolemTerm, Var]:
+        token = self._peek()
+        follower = self._peek(1)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.text == "("
+        ):
+            return self._parse_skolem_term()
+        term = self._parse_term()
+        if not isinstance(term, Var):
+            raise StruqlSyntaxError("expected a node reference")
+        return term
+
+    def _parse_link_clause(self) -> LinkClause:
+        source = self._parse_node_ref()
+        self._expect("arrow")
+        label_token = self._next()
+        label: Union[str, Var]
+        if label_token.kind == "string":
+            label = label_token.text
+        elif label_token.kind == "ident":
+            label = Var(label_token.text)
+        else:
+            raise StruqlSyntaxError(
+                f"expected an edge label, got {label_token.text!r}",
+                label_token.line,
+                label_token.column,
+            )
+        self._expect("arrow")
+        target = self._parse_link_target()
+        return LinkClause(source=source, label=label, target=target)
+
+    def _parse_link_target(self) -> Union[SkolemTerm, Var, Const]:
+        token = self._peek()
+        follower = self._peek(1)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and follower is not None
+            and follower.kind == "punct"
+            and follower.text == "("
+        ):
+            return self._parse_skolem_term()
+        return self._parse_term()
+
+    def _parse_collect_clause(self) -> CollectClause:
+        name = self._expect("ident")
+        self._expect("punct", "(")
+        node = self._parse_node_ref()
+        self._expect("punct", ")")
+        return CollectClause(collection=name.text, node=node)
+
+
+# -------------------------------------------------------------------- #
+# public API
+
+
+def parse(text: str) -> Program:
+    """Parse STRUQL text into a :class:`~repro.struql.ast.Program`.
+
+    The program may contain several queries; each is validated with
+    :func:`validate_query` against its inherited variable scope.
+    """
+    program = _Parser(text).parse_program()
+    program.source_text = text
+    for query in program.queries:
+        validate_query(query, inherited=frozenset())
+    return program
+
+
+def parse_query(text: str) -> Query:
+    """Parse text expected to contain exactly one query."""
+    program = parse(text)
+    if len(program.queries) != 1:
+        raise StruqlSyntaxError(
+            f"expected exactly one query, found {len(program.queries)}"
+        )
+    return program.queries[0]
+
+
+def validate_query(query: Query, inherited: frozenset) -> None:
+    """Static well-formedness checks (paper section 2.2 requirements).
+
+    * construction clauses may only use variables bound by this block's
+      where clause or an ancestor's;
+    * link sources must be Skolem terms or variables (variables are
+      checked at run time to denote new nodes);
+    * arc variables used as link labels must be bound.
+    """
+    scope = set(inherited) | set(query.where_variables())
+    for created in query.create:
+        _check_vars(created.variables(), scope, f"create {created}")
+    for link in query.link:
+        _check_vars(link.variables(), scope, f"link {link}")
+    for collect in query.collect:
+        _check_vars(collect.variables(), scope, f"collect {collect}")
+    for block in query.blocks:
+        validate_query(block, inherited=frozenset(scope))
+
+
+def _check_vars(used: frozenset, scope: Set[str], context: str) -> None:
+    unbound = sorted(used - scope)
+    if unbound:
+        raise StruqlSemanticError(
+            f"unbound variable(s) {', '.join(unbound)} in {context}"
+        )

@@ -1,0 +1,246 @@
+"""Evaluation of regular path expressions over labeled graphs.
+
+STRUQL's ``x -> R -> y`` asks for a path from ``x`` to ``y`` whose label
+sequence matches the regular path expression ``R``.  Regular path
+expressions generalize regular expressions: the alphabet is not fixed --
+leaves are *predicates* over edge labels (string equality, ``true``, or a
+registered named predicate), per section 2.2 of the paper.
+
+Implementation: Thompson-construct an NFA whose transitions carry label
+predicates, then search the product of graph x NFA breadth first with a
+visited set, which handles cycles in both the data and the expression
+(``Star``).  The empty path is matched when the start state is accepting
+-- so ``*`` (any path) relates every node to itself, which the paper's
+TextOnly example relies on ("all nodes q reachable from the root p,
+*including p itself*").
+
+Three entry points serve the evaluator's binding orders:
+
+* :func:`targets_from` -- source bound, enumerate targets;
+* :func:`sources_to` -- target bound, enumerate sources (runs the
+  reversed expression over the reverse adjacency index);
+* :func:`path_exists` -- both bound, early-exit check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import StruqlEvaluationError
+from ..graph import Graph, Oid, Target
+from . import builtins
+from .ast import Alternation, AnyLabel, Concat, LabelIs, LabelPredicate, PathExpr, Star
+
+LabelTest = Callable[[str], bool]
+
+
+class NFA:
+    """A nondeterministic finite automaton over label predicates.
+
+    States are integers.  ``transitions[state]`` lists ``(test, next)``
+    pairs; ``epsilons[state]`` lists epsilon-successors.  One start state,
+    one accept state (Thompson construction guarantees this shape).
+    """
+
+    def __init__(self) -> None:
+        self.transitions: Dict[int, List[Tuple[LabelTest, int]]] = {}
+        self.epsilons: Dict[int, List[int]] = {}
+        self.start = 0
+        self.accept = 0
+        self._state_count = 0
+
+    def new_state(self) -> int:
+        state = self._state_count
+        self._state_count += 1
+        self.transitions.setdefault(state, [])
+        self.epsilons.setdefault(state, [])
+        return state
+
+    def add_transition(self, source: int, test: LabelTest, target: int) -> None:
+        self.transitions[source].append((test, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilons[source].append(target)
+
+    def closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        """Epsilon-closure of a state set."""
+        seen: Set[int] = set(states)
+        queue = list(states)
+        while queue:
+            state = queue.pop()
+            for nxt in self.epsilons.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return frozenset(seen)
+
+    def step(self, states: FrozenSet[int], label: str) -> FrozenSet[int]:
+        """States reachable by consuming one edge labeled ``label``."""
+        out: Set[int] = set()
+        for state in states:
+            for test, nxt in self.transitions.get(state, ()):
+                if test(label):
+                    out.add(nxt)
+        return self.closure(frozenset(out))
+
+    def accepts_in(self, states: FrozenSet[int]) -> bool:
+        return self.accept in states
+
+    @property
+    def initial(self) -> FrozenSet[int]:
+        return self.closure(frozenset({self.start}))
+
+
+def _leaf_test(expr: PathExpr) -> LabelTest:
+    if isinstance(expr, LabelIs):
+        wanted = expr.label
+        return lambda label: label == wanted
+    if isinstance(expr, AnyLabel):
+        return lambda label: True
+    if isinstance(expr, LabelPredicate):
+        name = expr.name
+
+        def test(label: str) -> bool:
+            fn = builtins.label_predicate(name)
+            if fn is None:
+                raise StruqlEvaluationError(
+                    f"unknown label predicate {name!r} in path expression"
+                )
+            return fn(label)
+
+        return test
+    raise StruqlEvaluationError(f"not a leaf path expression: {expr!r}")
+
+
+def compile_path(expr: PathExpr) -> NFA:
+    """Thompson-construct an NFA for a regular path expression."""
+    nfa = NFA()
+
+    def build(node: PathExpr) -> Tuple[int, int]:
+        if isinstance(node, Concat):
+            first_start, previous_end = build(node.parts[0])
+            for part in node.parts[1:]:
+                part_start, part_end = build(part)
+                nfa.add_epsilon(previous_end, part_start)
+                previous_end = part_end
+            return first_start, previous_end
+        if isinstance(node, Alternation):
+            start, end = nfa.new_state(), nfa.new_state()
+            for option in node.options:
+                option_start, option_end = build(option)
+                nfa.add_epsilon(start, option_start)
+                nfa.add_epsilon(option_end, end)
+            return start, end
+        if isinstance(node, Star):
+            start, end = nfa.new_state(), nfa.new_state()
+            inner_start, inner_end = build(node.inner)
+            nfa.add_epsilon(start, inner_start)
+            nfa.add_epsilon(inner_end, inner_start)
+            nfa.add_epsilon(start, end)
+            nfa.add_epsilon(inner_end, end)
+            return start, end
+        start, end = nfa.new_state(), nfa.new_state()
+        nfa.add_transition(start, _leaf_test(node), end)
+        return start, end
+
+    nfa.start, nfa.accept = build(expr)
+    return nfa
+
+
+def reverse_expr(expr: PathExpr) -> PathExpr:
+    """The reversal of a regular path expression (concatenations flipped)."""
+    if isinstance(expr, Concat):
+        return Concat(parts=tuple(reverse_expr(p) for p in reversed(expr.parts)))
+    if isinstance(expr, Alternation):
+        return Alternation(options=tuple(reverse_expr(o) for o in expr.options))
+    if isinstance(expr, Star):
+        return Star(inner=reverse_expr(expr.inner))
+    return expr
+
+
+def targets_from(graph: Graph, nfa: NFA, source: Oid) -> List[Target]:
+    """All objects reachable from ``source`` along a matching path.
+
+    Returns nodes and atoms; includes ``source`` itself when the empty
+    path matches.  Deterministic order (BFS discovery order).
+    """
+    if not graph.has_node(source):
+        return []
+    results: Dict[Target, None] = {}
+    start_states = nfa.initial
+    visited: Set[Tuple[Target, FrozenSet[int]]] = {(source, start_states)}
+    queue: deque = deque([(source, start_states)])
+    if nfa.accepts_in(start_states):
+        results[source] = None
+    while queue:
+        obj, states = queue.popleft()
+        if not isinstance(obj, Oid):
+            continue
+        for label, target in graph.out_edges(obj):
+            next_states = nfa.step(states, label)
+            if not next_states:
+                continue
+            key = (target, next_states)
+            if key in visited:
+                continue
+            visited.add(key)
+            if nfa.accepts_in(next_states) and target not in results:
+                results[target] = None
+            queue.append((target, next_states))
+    return list(results)
+
+
+def sources_to(graph: Graph, reversed_nfa: NFA, target: Target) -> List[Oid]:
+    """All source nodes with a matching path to ``target``.
+
+    ``reversed_nfa`` must be the compilation of :func:`reverse_expr` of
+    the original expression; the search walks the reverse adjacency index.
+    """
+    results: Dict[Oid, None] = {}
+    start_states = reversed_nfa.initial
+    visited: Set[Tuple[Target, FrozenSet[int]]] = {(target, start_states)}
+    queue: deque = deque([(target, start_states)])
+    if reversed_nfa.accepts_in(start_states) and isinstance(target, Oid):
+        results[target] = None
+    while queue:
+        obj, states = queue.popleft()
+        for source, label in graph.in_edges(obj):
+            next_states = reversed_nfa.step(states, label)
+            if not next_states:
+                continue
+            key = (source, next_states)
+            if key in visited:
+                continue
+            visited.add(key)
+            if reversed_nfa.accepts_in(next_states) and source not in results:
+                results[source] = None
+            queue.append((source, next_states))
+    return list(results)
+
+
+def path_exists(graph: Graph, nfa: NFA, source: Oid, target: Target) -> bool:
+    """Early-exit check: is there a matching path from source to target?"""
+    if not graph.has_node(source):
+        return False
+    start_states = nfa.initial
+    if nfa.accepts_in(start_states) and source == target:
+        return True
+    visited: Set[Tuple[Target, FrozenSet[int]]] = {(source, start_states)}
+    queue: deque = deque([(source, start_states)])
+    while queue:
+        obj, states = queue.popleft()
+        if not isinstance(obj, Oid):
+            continue
+        for label, next_target in graph.out_edges(obj):
+            next_states = nfa.step(states, label)
+            if not next_states:
+                continue
+            if next_target == target and nfa.accepts_in(next_states):
+                return True
+            key = (next_target, next_states)
+            if key in visited:
+                continue
+            visited.add(key)
+            queue.append((next_target, next_states))
+    return False

@@ -1,0 +1,279 @@
+"""Rendering engine for the HTML-template language.
+
+Given a site-graph object and its template, :class:`Renderer` "evaluates
+all expressions in the template, concatenates them together, and produces
+plain HTML text" (paper section 2.4).  Internal objects referenced from a
+template are, by default, realized as hyperlinks to their own pages; the
+``EMBED`` directive overrides this and inlines the referenced object's
+rendering.  Which file a hyperlink points at is the
+:class:`~repro.template.generator.HtmlGenerator`'s business -- the
+renderer only calls back through :class:`PageRegistry`.
+
+Atoms render by flavour: URLs become anchors, image files become ``img``
+tags, PostScript files become download links, text files render their
+payload as escaped text, HTML files are inlined raw under ``EMBED``.
+All other atom text is HTML-escaped; literal template HTML never is.
+"""
+
+from __future__ import annotations
+
+import functools
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TemplateEvaluationError
+from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
+from .ast import (
+    AttrExpr,
+    Conditional,
+    Directives,
+    Format,
+    Literal,
+    Loop,
+    Node,
+    Template,
+)
+
+#: Attributes probed, in order, for an object's human-readable anchor text.
+ANCHOR_ATTRIBUTES = (
+    "title", "name", "Name", "label", "heading", "Year", "year",
+    "Category", "headline",
+)
+
+_DEFAULT_DELIM = ", "
+_MAX_EMBED_DEPTH = 16
+
+
+class PageRegistry:
+    """What the renderer needs from the surrounding generator.
+
+    ``href_for`` must return a relative URL for an internal object that
+    should be realized as its own page, or ``None`` when the object has no
+    renderable page (the renderer then falls back to plain text).
+    """
+
+    def href_for(self, oid: Oid) -> Optional[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def template_for(self, oid: Oid) -> Optional[Template]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _NoPages(PageRegistry):
+    """Registry for standalone rendering: everything becomes plain text."""
+
+    def href_for(self, oid: Oid) -> Optional[str]:
+        return None
+
+    def template_for(self, oid: Oid) -> Optional[Template]:
+        return None
+
+
+class Renderer:
+    """Renders templates against one site graph."""
+
+    def __init__(self, graph: Graph, registry: Optional[PageRegistry] = None) -> None:
+        self.graph = graph
+        self.registry = registry if registry is not None else _NoPages()
+
+    # ------------------------------------------------------------ #
+
+    def render(self, template: Template, obj: Oid) -> str:
+        """Render a full template for one object."""
+        return self._render_nodes(template.nodes, obj, {}, ())
+
+    def _render_nodes(
+        self,
+        nodes: Sequence[Node],
+        obj: Oid,
+        bindings: Dict[str, Target],
+        embed_stack: Tuple[Oid, ...],
+    ) -> str:
+        pieces: List[str] = []
+        for node in nodes:
+            if isinstance(node, Literal):
+                pieces.append(node.text)
+            elif isinstance(node, Format):
+                pieces.append(self._render_format(node, obj, bindings, embed_stack))
+            elif isinstance(node, Conditional):
+                pieces.append(self._render_conditional(node, obj, bindings, embed_stack))
+            elif isinstance(node, Loop):
+                pieces.append(self._render_loop(node, obj, bindings, embed_stack))
+            else:
+                raise TemplateEvaluationError(f"unknown template node: {node!r}")
+        return "".join(pieces)
+
+    # ------------------------------------------------------------ #
+    # attribute expressions
+
+    def values_of(
+        self, expr: AttrExpr, obj: Oid, bindings: Dict[str, Target]
+    ) -> List[Target]:
+        """All values of an attribute expression, duplicates removed,
+        discovery order preserved."""
+        if expr.var:
+            bound = bindings.get(expr.var)
+            if bound is None:
+                raise TemplateEvaluationError(
+                    f"@{expr.var} is not bound by an enclosing SFOR"
+                )
+            current: List[Target] = [bound]
+        else:
+            current = [obj]
+        for label in expr.path:
+            next_values: Dict[Target, None] = {}
+            for value in current:
+                if not isinstance(value, Oid):
+                    continue
+                for target in self.graph.targets(value, label):
+                    next_values.setdefault(target, None)
+            current = list(next_values)
+        return current
+
+    # ------------------------------------------------------------ #
+    # SFMT
+
+    def _render_format(
+        self,
+        node: Format,
+        obj: Oid,
+        bindings: Dict[str, Target],
+        embed_stack: Tuple[Oid, ...],
+    ) -> str:
+        values = self.values_of(node.expr, obj, bindings)
+        if node.directives.count:
+            return str(len(values))
+        if node.directives.order:
+            values = self._sort(values, node.directives)
+        if not values:
+            return ""
+        if not node.directives.enumerates:
+            return self._render_value(values[0], node.directives, embed_stack)
+        rendered = [self._render_value(v, node.directives, embed_stack) for v in values]
+        if node.directives.list_style:
+            tag = node.directives.list_style
+            items = "".join(f"<li>{piece}</li>" for piece in rendered)
+            return f"<{tag}>{items}</{tag}>"
+        delim = node.directives.delim
+        if delim is None:
+            delim = _DEFAULT_DELIM
+        return delim.join(rendered)
+
+    def _sort(self, values: List[Target], directives: Directives) -> List[Target]:
+        key_label = directives.key
+
+        def sort_atom(value: Target) -> Tuple[int, Atom]:
+            if isinstance(value, Atom):
+                return (0, value)
+            if key_label:
+                keyed = self.graph.attribute(value, key_label)
+                if isinstance(keyed, Atom):
+                    return (0, keyed)
+                return (1, Atom(AtomType.STRING, self.anchor_text(value)))
+            return (0, Atom(AtomType.STRING, self.anchor_text(value)))
+
+        def compare(left: Target, right: Target) -> int:
+            left_rank, left_atom = sort_atom(left)
+            right_rank, right_atom = sort_atom(right)
+            if left_rank != right_rank:
+                return left_rank - right_rank
+            return compare_atoms(left_atom, right_atom)
+
+        ordered = sorted(values, key=functools.cmp_to_key(compare))
+        if directives.order == "descend":
+            ordered.reverse()
+        return ordered
+
+    # ------------------------------------------------------------ #
+    # value rendering
+
+    def _render_value(
+        self, value: Target, directives: Directives, embed_stack: Tuple[Oid, ...]
+    ) -> str:
+        if isinstance(value, Oid):
+            return self._render_object(value, directives, embed_stack)
+        return self._render_atom(value, directives)
+
+    def _render_object(
+        self, oid: Oid, directives: Directives, embed_stack: Tuple[Oid, ...]
+    ) -> str:
+        if directives.embed:
+            if oid in embed_stack or len(embed_stack) >= _MAX_EMBED_DEPTH:
+                return self._object_link_or_text(oid)
+            template = self.registry.template_for(oid)
+            if template is not None:
+                return self._render_nodes(
+                    template.nodes, oid, {}, embed_stack + (oid,)
+                )
+            return html.escape(self.anchor_text(oid))
+        return self._object_link_or_text(oid)
+
+    def _object_link_or_text(self, oid: Oid) -> str:
+        href = self.registry.href_for(oid)
+        anchor = html.escape(self.anchor_text(oid))
+        if href is None:
+            return anchor
+        return f'<a href="{html.escape(href, quote=True)}">{anchor}</a>'
+
+    def anchor_text(self, oid: Oid) -> str:
+        """Human-readable text for an object: its first naming attribute,
+        falling back to the oid name."""
+        for label in ANCHOR_ATTRIBUTES:
+            value = self.graph.attribute(oid, label)
+            if isinstance(value, Atom):
+                return value.as_string()
+        return oid.name
+
+    def _render_atom(self, atom: Atom, directives: Directives) -> str:
+        text = html.escape(atom.as_string())
+        quoted = html.escape(atom.as_string(), quote=True)
+        if atom.type is AtomType.URL:
+            return f'<a href="{quoted}">{text}</a>'
+        if atom.type is AtomType.IMAGE_FILE:
+            return f'<img src="{quoted}" alt="{quoted}">'
+        if atom.type is AtomType.POSTSCRIPT_FILE:
+            return f'<a href="{quoted}">[PostScript]</a>'
+        if atom.type is AtomType.HTML_FILE:
+            if directives.embed:
+                return atom.as_string()  # raw HTML payload, inlined
+            return f'<a href="{quoted}">[HTML]</a>'
+        if directives.link:
+            return f'<a href="{quoted}">{text}</a>'
+        return text
+
+    # ------------------------------------------------------------ #
+    # SIF / SFOR
+
+    def _render_conditional(
+        self,
+        node: Conditional,
+        obj: Oid,
+        bindings: Dict[str, Target],
+        embed_stack: Tuple[Oid, ...],
+    ) -> str:
+        values = self.values_of(node.expr, obj, bindings)
+        if node.op:
+            literal = Atom(AtomType.STRING, node.literal)
+            matched = any(
+                isinstance(v, Atom) and atoms_equal(v, literal) for v in values
+            )
+            truth = matched if node.op == "=" else not matched
+        else:
+            truth = bool(values)
+        chosen = node.then_nodes if truth else node.else_nodes
+        return self._render_nodes(chosen, obj, bindings, embed_stack)
+
+    def _render_loop(
+        self,
+        node: Loop,
+        obj: Oid,
+        bindings: Dict[str, Target],
+        embed_stack: Tuple[Oid, ...],
+    ) -> str:
+        values = self.values_of(node.expr, obj, bindings)
+        pieces: List[str] = []
+        for value in values:
+            extended = dict(bindings)
+            extended[node.var] = value
+            pieces.append(self._render_nodes(node.body, obj, extended, embed_stack))
+        return node.delim.join(pieces)

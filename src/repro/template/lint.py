@@ -1,0 +1,229 @@
+"""Static template linting against a site schema.
+
+The audit module finds attribute-name typos at *generation* time (empty
+pages); this linter finds them **before any site is built**, by checking
+every template's attribute expressions against the site schema's edges
+-- the same move the paper makes for integrity constraints ("a simple
+analysis of the query can infer the site schema", section 2.5).
+
+For each template assigned to a page type (a Skolem function, via the
+collections it is collected into, or object-specific assignment), the
+linter walks the template's attribute expressions step by step through
+the schema: a step labeled L from function F is *resolvable* if some
+schema edge F -L-> _ exists; a function with an arc-variable edge (its
+labels are data-dependent) makes every step from it *unknowable* rather
+than wrong.  Findings:
+
+* ``unknown-attribute`` -- the step matches no schema edge and the
+  function has no arc-variable edges: a typo, the page will render
+  empty there;
+* ``unknowable`` (informational) -- the step could not be checked
+  because the labels at that point depend on data.
+
+SFOR variables are tracked so ``@a.title`` is checked against where
+``a`` can point.  Comparisons inside SIF are checked through the same
+expression machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.schema import NS, SiteSchema
+from .ast import AttrExpr, Conditional, Format, Loop, Node, Template
+from .generator import TemplateSet
+
+#: endpoint marker for data-graph / atomic values (nothing to follow).
+_DATA = "<data>"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One problem (or unknowability note) in one template."""
+
+    template: str
+    expression: str
+    severity: str  # "error" | "info"
+    kind: str  # "unknown-attribute" | "unknowable"
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.severity}] {self.template}: <SFMT-ish {self.expression}> -- "
+            f"{self.kind}: {self.detail}"
+        )
+
+
+@dataclass
+class LintReport:
+    findings: List[LintFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        infos = len(self.findings) - len(self.errors)
+        return (
+            f"{len(self.errors)} error(s), {infos} unknowable expression(s)"
+        )
+
+
+class TemplateLinter:
+    """Checks one TemplateSet against one SiteSchema."""
+
+    def __init__(self, templates: TemplateSet, schema: SiteSchema) -> None:
+        self.templates = templates
+        self.schema = schema
+        # function -> constant labels leaving it
+        self._labels: Dict[str, Set[str]] = {}
+        # functions with data-dependent (arc variable) labels
+        self._open_functions: Set[str] = set()
+        for function in schema.functions:
+            labels: Set[str] = set()
+            for edge in schema.edges_from(function):
+                if edge.label_is_variable:
+                    self._open_functions.add(function)
+                else:
+                    labels.add(edge.label)
+            self._labels[function] = labels
+
+    # ------------------------------------------------------------ #
+
+    def lint(self) -> LintReport:
+        """Lint every template against every page type it is assigned to."""
+        report = LintReport()
+        for template_name, functions in self._assignments().items():
+            template = self.templates.get(template_name)
+            if template is None:
+                continue
+            for function in functions:
+                self._lint_nodes(
+                    template.nodes, template, frozenset({function}), {}, report
+                )
+        return report
+
+    def _assignments(self) -> Dict[str, List[str]]:
+        """template name -> Skolem functions it renders."""
+        out: Dict[str, List[str]] = {}
+        for collection, template_name in self.templates._collection_templates.items():
+            for function in self.schema.functions_of_class(collection):
+                out.setdefault(template_name, []).append(function)
+        for oid_name, template_name in self.templates._object_templates.items():
+            function = oid_name.split("(", 1)[0]
+            if function in self.schema.functions:
+                out.setdefault(template_name, []).append(function)
+        return out
+
+    # ------------------------------------------------------------ #
+
+    def _lint_nodes(
+        self,
+        nodes: Sequence[Node],
+        template: Template,
+        context: FrozenSet[str],
+        loop_vars: Dict[str, FrozenSet[str]],
+        report: LintReport,
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, Format):
+                self._check_expr(node.expr, template, context, loop_vars, report)
+            elif isinstance(node, Conditional):
+                self._check_expr(node.expr, template, context, loop_vars, report)
+                self._lint_nodes(node.then_nodes, template, context, loop_vars, report)
+                self._lint_nodes(node.else_nodes, template, context, loop_vars, report)
+            elif isinstance(node, Loop):
+                endpoints = self._check_expr(
+                    node.expr, template, context, loop_vars, report
+                )
+                extended = dict(loop_vars)
+                extended[node.var] = endpoints
+                self._lint_nodes(node.body, template, context, extended, report)
+
+    def _check_expr(
+        self,
+        expr: AttrExpr,
+        template: Template,
+        context: FrozenSet[str],
+        loop_vars: Dict[str, FrozenSet[str]],
+        report: LintReport,
+    ) -> FrozenSet[str]:
+        """Walk an attribute expression through the schema; returns the
+        reachable endpoint functions (for loop-variable tracking)."""
+        if expr.var:
+            current = loop_vars.get(expr.var, frozenset())
+        else:
+            current = context
+        for position, label in enumerate(expr.path):
+            if not current or _DATA in current:
+                return frozenset()  # walked off into data: unknowable
+            next_functions: Set[str] = set()
+            matched = False
+            for function in current:
+                for edge in self.schema.edges_from(function):
+                    if edge.label_is_variable or edge.label != label:
+                        continue
+                    matched = True
+                    next_functions.add(
+                        _DATA if edge.target == NS else edge.target
+                    )
+            if not matched:
+                if any(f in self._open_functions for f in current):
+                    # the label may still exist: it can be copied by an
+                    # arc-variable link clause, which only the data decides
+                    self._note(
+                        report,
+                        template,
+                        expr,
+                        severity="info",
+                        kind="unknowable",
+                        detail=(
+                            f"{label!r} not produced by any constant link "
+                            f"clause on {sorted(current)}, but arc-variable "
+                            "clauses may copy it from the data"
+                        ),
+                    )
+                else:
+                    self._note(
+                        report,
+                        template,
+                        expr,
+                        severity="error",
+                        kind="unknown-attribute",
+                        detail=(
+                            f"no link clause produces {label!r} on "
+                            f"{sorted(current)} (step {position + 1})"
+                        ),
+                    )
+                return frozenset()
+            current = frozenset(next_functions)
+        return current
+
+    @staticmethod
+    def _note(
+        report: LintReport,
+        template: Template,
+        expr: AttrExpr,
+        severity: str,
+        kind: str,
+        detail: str,
+    ) -> None:
+        finding = LintFinding(
+            template=template.name,
+            expression=str(expr),
+            severity=severity,
+            kind=kind,
+            detail=detail,
+        )
+        if finding not in report.findings:
+            report.findings.append(finding)
+
+
+def lint_templates(templates: TemplateSet, schema: SiteSchema) -> LintReport:
+    """One-shot convenience wrapper."""
+    return TemplateLinter(templates, schema).lint()

@@ -1,0 +1,334 @@
+"""Parser for the HTML-template language.
+
+The template text is scanned left to right; everything outside the five
+special tags (``<SFMT ...>``, ``<SIF ...>``, ``<SELSE>``, ``</SIF>``,
+``<SFOR ...>``, ``</SFOR>``) is literal HTML.  Tag names and directive
+keywords are case-insensitive, attribute labels are case-sensitive (they
+name graph edges).
+
+Attribute-expression syntax inside tags::
+
+    attr-expr ::= ["@" ident] ("." segment)*    -- when @-rooted
+                | segment ("." segment)*        -- otherwise
+    segment   ::= ident | quoted-string         -- quoting admits labels
+                                                   like "HTML-template"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import TemplateSyntaxError
+from .ast import (
+    AttrExpr,
+    Conditional,
+    Directives,
+    Format,
+    Literal,
+    Loop,
+    Node,
+    Template,
+)
+
+_TAG_OPEN = re.compile(r"<(/?)(SFMT|SIF|SELSE|SFOR)\b", re.IGNORECASE)
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+
+_DIRECTIVE_FLAGS = frozenset({"EMBED", "LINK", "ENUM", "UL", "OL", "COUNT"})
+_DIRECTIVE_VALUED = frozenset({"DELIM", "ORDER", "KEY"})
+
+
+def parse_template(text: str, name: str = "") -> Template:
+    """Parse template text into a :class:`Template`."""
+    parser = _TemplateParser(text)
+    nodes, terminator = parser.parse_nodes(stop_at=())
+    assert terminator is None
+    return Template(name=name, nodes=nodes, source_text=text)
+
+
+class _TemplateParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._position = 0
+
+    def _line(self, position: Optional[int] = None) -> int:
+        where = self._position if position is None else position
+        return self._text.count("\n", 0, where) + 1
+
+    # ---------------------------------------------------------------- #
+
+    def parse_nodes(self, stop_at: Tuple[str, ...]) -> Tuple[List[Node], Optional[str]]:
+        """Parse until EOF or one of ``stop_at`` tags (returned, consumed)."""
+        nodes: List[Node] = []
+        while True:
+            match = _TAG_OPEN.search(self._text, self._position)
+            if match is None:
+                tail = self._text[self._position :]
+                if tail:
+                    nodes.append(Literal(tail))
+                self._position = len(self._text)
+                if stop_at:
+                    raise TemplateSyntaxError(
+                        f"missing closing tag (expected one of {', '.join(stop_at)})",
+                        self._line(),
+                    )
+                return nodes, None
+            if match.start() > self._position:
+                nodes.append(Literal(self._text[self._position : match.start()]))
+            tag = ("/" if match.group(1) else "") + match.group(2).upper()
+            self._position = match.start()
+            if tag in stop_at:
+                self._consume_tag()
+                return nodes, tag
+            if tag == "SFMT":
+                nodes.append(self._parse_sfmt())
+            elif tag == "SIF":
+                nodes.append(self._parse_sif())
+            elif tag == "SFOR":
+                nodes.append(self._parse_sfor())
+            else:
+                raise TemplateSyntaxError(
+                    f"unexpected tag {tag} here", self._line(match.start())
+                )
+
+    # ---------------------------------------------------------------- #
+    # tag readers
+
+    def _consume_tag(self) -> str:
+        """Consume ``<...>`` starting at the current position and return
+        its inner text (between the tag name start and ``>``).
+
+        A ``>`` inside a double-quoted directive value (``DELIM="<hr>"``)
+        does not terminate the tag.
+        """
+        start = self._position
+        index = start + 1
+        in_quote = False
+        while index < len(self._text):
+            char = self._text[index]
+            if in_quote:
+                if char == "\\":
+                    index += 2
+                    continue
+                if char == '"':
+                    in_quote = False
+            elif char == '"':
+                in_quote = True
+            elif char == ">":
+                inner = self._text[start + 1 : index]
+                self._position = index + 1
+                return inner
+            index += 1
+        raise TemplateSyntaxError("unterminated tag", self._line(start))
+
+    def _parse_sfmt(self) -> Node:
+        line = self._line()
+        inner = self._consume_tag()
+        body = inner[len("SFMT") :].strip()
+        expr_text, rest = _split_leading_expr(body, line)
+        expr = parse_attr_expr(expr_text, line)
+        directives = _parse_directives(rest, line)
+        return Format(expr=expr, directives=directives)
+
+    def _parse_sif(self) -> Node:
+        line = self._line()
+        inner = self._consume_tag()
+        body = inner[len("SIF") :].strip()
+        expr_text, rest = _split_leading_expr(body, line)
+        expr = parse_attr_expr(expr_text, line)
+        op, literal = "", ""
+        rest = rest.strip()
+        if rest:
+            comparison = re.fullmatch(r"(!?=)\s*\"((?:[^\"\\]|\\.)*)\"", rest)
+            if comparison is None:
+                raise TemplateSyntaxError(
+                    f"bad SIF comparison: {rest!r}", line
+                )
+            op = comparison.group(1)
+            literal = _unescape(comparison.group(2))
+        then_nodes, terminator = self.parse_nodes(stop_at=("SELSE", "/SIF"))
+        else_nodes: List[Node] = []
+        if terminator == "SELSE":
+            else_nodes, terminator = self.parse_nodes(stop_at=("/SIF",))
+        return Conditional(
+            expr=expr,
+            op=op,
+            literal=literal,
+            then_nodes=tuple(then_nodes),
+            else_nodes=tuple(else_nodes),
+        )
+
+    def _parse_sfor(self) -> Node:
+        line = self._line()
+        inner = self._consume_tag()
+        body = inner[len("SFOR") :].strip()
+        match = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s+IN\s+", body, re.IGNORECASE)
+        if match is None:
+            raise TemplateSyntaxError("SFOR must be '<SFOR var IN expr ...>'", line)
+        var = match.group(1)
+        remainder = body[match.end() :]
+        expr_text, rest = _split_leading_expr(remainder, line)
+        expr = parse_attr_expr(expr_text, line)
+        directives = _parse_directives(rest, line)
+        nodes, _ = self.parse_nodes(stop_at=("/SFOR",))
+        return Loop(var=var, expr=expr, body=tuple(nodes), delim=directives.delim or "")
+
+
+# -------------------------------------------------------------------- #
+# expression and directive parsing
+
+
+def _split_leading_expr(text: str, line: int) -> Tuple[str, str]:
+    """Split ``text`` into the leading attribute expression and the rest.
+
+    The expression extends through identifiers, ``@``, ``.`` and quoted
+    segments; it stops at whitespace outside quotes.
+    """
+    text = text.lstrip()
+    if not text:
+        raise TemplateSyntaxError("missing attribute expression", line)
+    index = 0
+    in_quote = False
+    while index < len(text):
+        char = text[index]
+        if in_quote:
+            if char == "\\":
+                index += 2
+                continue
+            if char == '"':
+                in_quote = False
+            index += 1
+            continue
+        if char == '"':
+            in_quote = True
+            index += 1
+            continue
+        if char.isspace():
+            break
+        index += 1
+    if in_quote:
+        raise TemplateSyntaxError("unterminated quoted label", line)
+    return text[:index], text[index:]
+
+
+def parse_attr_expr(text: str, line: int = 0) -> AttrExpr:
+    """Parse an attribute expression like ``Paper``, ``@a.title`` or
+    ``"HTML-template"``."""
+    text = text.strip()
+    if not text:
+        raise TemplateSyntaxError("empty attribute expression", line)
+    var = ""
+    if text.startswith("@"):
+        match = _IDENT.match(text, 1)
+        if match is None:
+            raise TemplateSyntaxError(f"bad loop-variable reference {text!r}", line)
+        var = match.group(0)
+        text = text[match.end() :]
+        if text.startswith("."):
+            text = text[1:]
+        elif text:
+            raise TemplateSyntaxError(f"bad attribute expression after @{var}", line)
+    segments: List[str] = []
+    position = 0
+    while position < len(text):
+        if text[position] == '"':
+            end = position + 1
+            value: List[str] = []
+            while end < len(text) and text[end] != '"':
+                if text[end] == "\\" and end + 1 < len(text):
+                    value.append(text[end + 1])
+                    end += 2
+                    continue
+                value.append(text[end])
+                end += 1
+            if end >= len(text):
+                raise TemplateSyntaxError("unterminated quoted label", line)
+            segments.append("".join(value))
+            position = end + 1
+        else:
+            match = _IDENT.match(text, position)
+            if match is None:
+                raise TemplateSyntaxError(
+                    f"bad attribute expression near {text[position:]!r}", line
+                )
+            segments.append(match.group(0))
+            position = match.end()
+        if position < len(text):
+            if text[position] != ".":
+                raise TemplateSyntaxError(
+                    f"expected '.' in attribute expression, got {text[position]!r}", line
+                )
+            position += 1
+    if not segments and not var:
+        raise TemplateSyntaxError("empty attribute expression", line)
+    return AttrExpr(path=tuple(segments), var=var)
+
+
+def _unescape(text: str) -> str:
+    return re.sub(r"\\(.)", r"\1", text)
+
+
+def _parse_directives(text: str, line: int) -> Directives:
+    embed = link = enum = count = False
+    list_style = ""
+    delim: Optional[str] = None
+    order = ""
+    key = ""
+    position = 0
+    text = text.strip()
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _IDENT.match(text, position)
+        if match is None:
+            raise TemplateSyntaxError(f"bad directive near {text[position:]!r}", line)
+        word = match.group(0).upper()
+        position = match.end()
+        if word in _DIRECTIVE_FLAGS:
+            if word == "EMBED":
+                embed = True
+            elif word == "LINK":
+                link = True
+            elif word == "ENUM":
+                enum = True
+            elif word == "COUNT":
+                count = True
+            else:
+                list_style = word.lower()
+            continue
+        if word in _DIRECTIVE_VALUED:
+            if position >= len(text) or text[position] != "=":
+                raise TemplateSyntaxError(f"directive {word} needs '=value'", line)
+            position += 1
+            if word == "DELIM":
+                if position >= len(text) or text[position] != '"':
+                    raise TemplateSyntaxError('DELIM value must be quoted', line)
+                end = text.find('"', position + 1)
+                while end > 0 and text[end - 1] == "\\":
+                    end = text.find('"', end + 1)
+                if end < 0:
+                    raise TemplateSyntaxError("unterminated DELIM value", line)
+                delim = _unescape(text[position + 1 : end])
+                position = end + 1
+                continue
+            value_match = _IDENT.match(text, position)
+            if value_match is None:
+                raise TemplateSyntaxError(f"directive {word} needs a value", line)
+            value = value_match.group(0)
+            position = value_match.end()
+            if word == "ORDER":
+                lowered = value.lower()
+                if lowered not in ("ascend", "descend"):
+                    raise TemplateSyntaxError(
+                        "ORDER must be ascend or descend", line
+                    )
+                order = lowered
+            else:
+                key = value
+            continue
+        raise TemplateSyntaxError(f"unknown directive {word!r}", line)
+    return Directives(
+        embed=embed, link=link, enum=enum, list_style=list_style,
+        delim=delim, order=order, key=key, count=count,
+    )

@@ -1,0 +1,49 @@
+"""Synthetic workloads shaped like the paper's sites (see DESIGN.md for
+the substitution rationale: we cannot ship AT&T/CNN/author data, so we
+generate data of the same shape and scale)."""
+
+from .bibliography import (
+    HOMEPAGE_QUERY,
+    bibliography_graph,
+    generate_entries,
+    homepage_templates,
+)
+from .news import (
+    CATEGORIES,
+    NEWS_SITE_QUERY,
+    SPORTS_SITE_QUERY,
+    article_pages,
+    news_graph,
+    news_graph_from_pages,
+    news_templates,
+)
+from .orgsite import (
+    GAV_MAPPINGS,
+    build_mediator,
+    departments_table,
+    lab_facts_ddl,
+    legacy_pages,
+    personnel_table,
+    projects_text,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "GAV_MAPPINGS",
+    "HOMEPAGE_QUERY",
+    "NEWS_SITE_QUERY",
+    "SPORTS_SITE_QUERY",
+    "article_pages",
+    "bibliography_graph",
+    "build_mediator",
+    "departments_table",
+    "generate_entries",
+    "homepage_templates",
+    "lab_facts_ddl",
+    "legacy_pages",
+    "news_graph",
+    "news_graph_from_pages",
+    "news_templates",
+    "personnel_table",
+    "projects_text",
+]

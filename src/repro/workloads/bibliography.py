@@ -1,0 +1,226 @@
+"""Synthetic bibliographies: the paper's homepage-site workload.
+
+The authors' own BibTeX files drove the running example (section 2.3)
+and the personal home pages (section 5.1).  We cannot ship their
+bibliographies, so this generator produces BibTeX text with the same
+*shape*, including every irregularity section 6.3 calls out:
+
+* ``month`` present on some entries and missing on others;
+* ``journal`` on articles vs. ``booktitle`` on conference papers
+  ("the 'journal' attribute is meaningful for journal papers, but not
+  conference papers");
+* optional ``abstract`` / ``postscript`` / ``url`` fields;
+* 1-4 authors per entry, drawn from a shared name pool so that
+  cross-source joins (org-site publications) have matches.
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..graph import Graph
+from ..wrappers import BibtexWrapper
+
+FIRST_NAMES = [
+    "Mary", "Daniela", "Jaewoo", "Alon", "Dan", "Serge", "Victor", "Peter",
+    "Susan", "Hector", "Jennifer", "Jeff", "David", "Laura", "Rick", "Anne",
+]
+LAST_NAMES = [
+    "Fernandez", "Florescu", "Kang", "Levy", "Suciu", "Abiteboul", "Vianu",
+    "Buneman", "Davidson", "Garcia-Molina", "Widom", "Ullman", "Maier",
+    "Haas", "Hull", "Deutsch",
+]
+TITLE_HEADS = [
+    "A Query Language for", "Optimizing", "Managing", "Declarative",
+    "Incremental Evaluation of", "Wrapping", "Integrating", "Indexing",
+    "Schemas for", "Views over",
+]
+TITLE_TAILS = [
+    "Semistructured Data", "Web Sites", "Labeled Graphs", "Heterogeneous Sources",
+    "Site Graphs", "Mediated Views", "Path Expressions", "HTML Repositories",
+    "Data Warehouses", "Query Plans",
+]
+JOURNALS = [
+    "ACM TODS", "VLDB Journal", "Information Systems", "SIGMOD Record",
+]
+CONFERENCES = [
+    "SIGMOD", "VLDB", "ICDE", "PODS", "EDBT",
+]
+CATEGORIES = [
+    "semistructured", "web", "integration", "optimization", "languages",
+]
+
+DEFAULT_YEARS = (1990, 1998)
+
+
+def generate_entries(
+    count: int,
+    seed: int = 0,
+    years: Sequence[int] = DEFAULT_YEARS,
+    month_rate: float = 0.5,
+    abstract_rate: float = 0.7,
+    postscript_rate: float = 0.6,
+    url_rate: float = 0.3,
+    category_rate: float = 0.9,
+    author_pool: Optional[List[str]] = None,
+) -> str:
+    """Generate ``count`` BibTeX entries as text.
+
+    The ``*_rate`` knobs control attribute irregularity; experiment E8
+    sweeps them.  ``author_pool`` overrides the default full-name pool.
+    """
+    rng = random.Random(seed)
+    if author_pool is None:
+        author_pool = [
+            f"{first} {last}" for first in FIRST_NAMES for last in LAST_NAMES
+        ]
+    months = "jan feb mar apr may jun jul aug sep oct nov dec".split()
+    pieces: List[str] = []
+    for index in range(count):
+        is_article = rng.random() < 0.4
+        entry_type = "article" if is_article else "inproceedings"
+        key = f"pub{index}"
+        title = f"{rng.choice(TITLE_HEADS)} {rng.choice(TITLE_TAILS)}"
+        authors = " and ".join(
+            rng.sample(author_pool, rng.randint(1, min(4, len(author_pool))))
+        )
+        year = rng.randint(years[0], years[1])
+        lines = [f"@{entry_type}{{{key},"]
+        lines.append(f"  title = {{{title}}},")
+        lines.append(f"  author = {{{authors}}},")
+        lines.append(f"  year = {year},")
+        if is_article:
+            lines.append(f"  journal = {{{rng.choice(JOURNALS)}}},")
+        else:
+            lines.append(
+                f"  booktitle = {{Proceedings of {rng.choice(CONFERENCES)}}},"
+            )
+        if rng.random() < month_rate:
+            lines.append(f"  month = {rng.choice(months)},")
+        if rng.random() < abstract_rate:
+            lines.append(
+                f"  abstract = {{We study {title.lower()} and report "
+                f"experimental results on workload {index}.}},"
+            )
+        if rng.random() < postscript_rate:
+            lines.append(f"  postscript = {{papers/{key}.ps}},")
+        if rng.random() < url_rate:
+            lines.append(f"  url = {{http://example.org/papers/{key}}},")
+        if rng.random() < category_rate:
+            lines.append(f"  category = {{{rng.choice(CATEGORIES)}}},")
+        lines.append("}")
+        pieces.append("\n".join(lines))
+    return "\n\n".join(pieces) + "\n"
+
+
+def bibliography_graph(
+    count: int, seed: int = 0, ordered_authors: bool = False, **rates
+) -> Graph:
+    """Generate entries and wrap them into a data graph in one step."""
+    text = generate_entries(count, seed=seed, **rates)
+    return BibtexWrapper(text, ordered_authors=ordered_authors).wrap()
+
+
+#: The paper's Fig. 3 site-definition query for a homepage over a
+#: Publications collection (categories clause included), reconstructed.
+HOMEPAGE_QUERY = """
+// Fig. 3: site definition for the example homepage site
+create RootPage(), AbstractsPage()
+link RootPage() -> "Abstract" -> AbstractsPage()
+where Publications(x), x -> l -> v
+create AbstractPage(x), PaperPresentation(x)
+link PaperPresentation(x) -> l -> v,
+     PaperPresentation(x) -> "abstractPage" -> AbstractPage(x),
+     AbstractPage(x) -> l -> v,
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+collect Presentations(PaperPresentation(x)), AbstractPages(AbstractPage(x))
+{
+  where x -> "year" -> y
+  create YearPage(y)
+  link YearPage(y) -> "Paper" -> PaperPresentation(x),
+       YearPage(y) -> "Year" -> y,
+       RootPage() -> "YearPage" -> YearPage(y)
+  collect YearPages(YearPage(y))
+}
+{
+  where x -> "category" -> c
+  create CategoryPage(c)
+  link CategoryPage(c) -> "Paper" -> PaperPresentation(x),
+       CategoryPage(c) -> "Category" -> c,
+       RootPage() -> "CategoryPage" -> CategoryPage(c)
+  collect CategoryPages(CategoryPage(c))
+}
+"""
+
+
+def homepage_templates():
+    """The example homepage's template set (paper Fig. 6, reconstructed)."""
+    from ..template import TemplateSet
+
+    templates = TemplateSet()
+    templates.add(
+        "rootpage",
+        """<html><head><title>Home Page</title></head><body>
+<h1>Research Home Page</h1>
+<p>Papers by year:</p>
+<SFMT YearPage UL ORDER=descend KEY=Year>
+<p>Papers by category:</p>
+<SFMT CategoryPage UL ORDER=ascend KEY=Category>
+<p><SFMT Abstract></p>
+</body></html>
+""",
+    )
+    templates.add(
+        "abstractspage",
+        """<html><head><title>All Abstracts</title></head><body>
+<h1>Abstracts</h1>
+<SFMT Abstract EMBED UL>
+</body></html>
+""",
+    )
+    templates.add(
+        "yearpage",
+        """<html><head><title>Papers from <SFMT Year></title></head><body>
+<h2>Papers from <SFMT Year></h2>
+<SFOR p IN Paper DELIM="<hr>"><SFMT @p EMBED></SFOR>
+</body></html>
+""",
+    )
+    templates.add(
+        "categorypage",
+        """<html><head><title><SFMT Category> papers</title></head><body>
+<h2>Category: <SFMT Category></h2>
+<SFOR p IN Paper DELIM="<hr>"><SFMT @p EMBED></SFOR>
+</body></html>
+""",
+    )
+    templates.add(
+        "paperpresentation",
+        """<b><SFMT title></b>
+(<SFMT year><SIF month>, <SFMT month></SIF>)
+by <SFMT author ENUM DELIM=", ">
+<SIF journal><i><SFMT journal></i></SIF>
+<SIF booktitle><i><SFMT booktitle></i></SIF>
+<SIF postscript><SFMT postscript></SIF>
+<SIF abstractPage>[<SFMT abstractPage>]</SIF>
+""",
+    )
+    templates.add(
+        "abstractpage",
+        """<html><head><title><SFMT title></title></head><body>
+<h3><SFMT title></h3>
+<SIF abstract><p><SFMT abstract></p><SELSE><p><i>No abstract available.</i></p></SIF>
+<p>by <SFMT author ENUM DELIM=", "></p>
+</body></html>
+""",
+    )
+    templates.for_object("RootPage()", "rootpage")
+    templates.for_object("AbstractsPage()", "abstractspage")
+    templates.for_collection("YearPages", "yearpage")
+    templates.for_collection("CategoryPages", "categorypage")
+    templates.for_collection("Presentations", "paperpresentation")
+    templates.for_collection("AbstractPages", "abstractpage")
+    return templates

@@ -1,0 +1,229 @@
+"""Synthetic news-site workload (the CNN demonstration shape).
+
+"Our first example was a demonstration version of the CNN Web site ...
+we mapped their HTML pages into a data graph containing about 300
+articles.  Our version of the CNN site is defined by a 44-line query and
+nine templates" (paper section 5.1).  "On any day, one article may
+appear in various formats on multiple pages"; the sports-only derived
+site "only differs in two extra predicates in one where clause".
+
+This generator produces ~N articles as *HTML pages* which the HTML
+wrapper re-parses -- the same "we did not have access to their database,
+so we wrapped their pages" path the authors took -- plus a direct graph
+constructor for benchmarks that do not care about the wrapping step.
+
+Article shape: headline, date, 1-2 categories (one primary), body
+paragraphs, optional image, optional related-article links, "top story"
+flag on a few per category.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..graph import Graph, image_file, integer, string, text_file
+from ..wrappers import HtmlSiteWrapper
+
+CATEGORIES = ["world", "us", "sports", "technology", "weather", "showbiz"]
+
+_HEADLINE_HEADS = [
+    "Officials announce", "Markets react to", "Scientists discover",
+    "Team wins despite", "Storm approaches", "Voters weigh",
+    "Researchers question", "Industry adopts", "City debates", "Fans celebrate",
+]
+_HEADLINE_TAILS = [
+    "new policy", "record results", "unexpected findings", "late-season rally",
+    "coastal regions", "budget proposal", "early benchmarks", "open standards",
+    "transit plans", "historic victory",
+]
+
+
+def article_pages(count: int = 300, seed: int = 0) -> Dict[str, str]:
+    """Generate article HTML pages keyed by path (plus category index
+    pages, as a real crawl would include)."""
+    rng = random.Random(seed)
+    pages: Dict[str, str] = {}
+    by_category: Dict[str, List[str]] = {c: [] for c in CATEGORIES}
+    metadata: List[Dict[str, object]] = []
+    for index in range(count):
+        primary = rng.choice(CATEGORIES)
+        categories = [primary]
+        if rng.random() < 0.25:
+            secondary = rng.choice([c for c in CATEGORIES if c != primary])
+            categories.append(secondary)
+        headline = f"{rng.choice(_HEADLINE_HEADS)} {rng.choice(_HEADLINE_TAILS)}"
+        path = f"{primary}/article{index}.html"
+        by_category[primary].append(path)
+        metadata.append(
+            {
+                "path": path,
+                "headline": headline,
+                "categories": categories,
+                "date": f"1998-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                "image": rng.random() < 0.4,
+                "top": rng.random() < 0.1,
+                "index": index,
+            }
+        )
+    for article in metadata:
+        rng_local = random.Random(seed + int(article["index"]))  # type: ignore[arg-type]
+        related = rng_local.sample(
+            [a["path"] for a in metadata if a is not article],
+            min(3, count - 1),
+        )
+        related_html = "".join(
+            f'<p><a href="../{other}">related story</a></p>' for other in related
+        )
+        image_html = (
+            f'<img src="images/art{article["index"]}.jpg">' if article["image"] else ""
+        )
+        meta_tags = "".join(
+            f'<meta name="category" content="{c}">' for c in article["categories"]
+        )
+        meta_tags += f'<meta name="date" content="{article["date"]}">'
+        if article["top"]:
+            meta_tags += '<meta name="top" content="true">'
+        body = " ".join(
+            f"Paragraph {p} of the report on {article['headline'].lower()}."
+            for p in range(1, rng_local.randint(2, 5))
+        )
+        pages[str(article["path"])] = (
+            f"<html><head><title>{article['headline']}</title>{meta_tags}</head>"
+            f"<body><h1>{article['headline']}</h1>{image_html}"
+            f"<p>{body}</p>{related_html}</body></html>"
+        )
+    for category, paths in by_category.items():
+        links = "".join(
+            f'<p><a href="../{p}">story</a></p>' for p in paths[:20]
+        )
+        pages[f"{category}/index.html"] = (
+            f"<html><head><title>{category.capitalize()} news</title></head>"
+            f"<body><h1>{category.capitalize()}</h1>{links}</body></html>"
+        )
+    return pages
+
+
+def news_graph_from_pages(count: int = 300, seed: int = 0) -> Graph:
+    """The authors' path: generate pages, wrap them with the HTML wrapper,
+    then shape the wrapped pages into an Articles collection."""
+    pages = article_pages(count, seed)
+    graph = HtmlSiteWrapper(pages, collection="Pages").wrap()
+    graph.create_collection("Articles")
+    for oid in graph.collection("Pages"):
+        path = graph.attribute(oid, "path")
+        if path is not None and "/article" in str(path):
+            graph.add_to_collection("Articles", oid)
+    return graph
+
+
+def news_graph(count: int = 300, seed: int = 0) -> Graph:
+    """Direct graph construction (no HTML round trip) for benchmarks."""
+    rng = random.Random(seed)
+    graph = Graph("news")
+    graph.create_collection("Articles")
+    oids = []
+    for index in range(count):
+        primary = rng.choice(CATEGORIES)
+        oid = graph.add_node(hint="art")
+        graph.add_edge(oid, "headline", string(
+            f"{rng.choice(_HEADLINE_HEADS)} {rng.choice(_HEADLINE_TAILS)}"
+        ))
+        graph.add_edge(oid, "date", string(
+            f"1998-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+        ))
+        graph.add_edge(oid, "category", string(primary))
+        if rng.random() < 0.25:
+            graph.add_edge(
+                oid, "category",
+                string(rng.choice([c for c in CATEGORIES if c != primary])),
+            )
+        graph.add_edge(oid, "text", text_file(f"Body of article {index}."))
+        if rng.random() < 0.4:
+            graph.add_edge(oid, "image", image_file(f"images/art{index}.jpg"))
+        if rng.random() < 0.1:
+            graph.add_edge(oid, "top", string("true"))
+        graph.add_edge(oid, "serial", integer(index))
+        graph.add_to_collection("Articles", oid)
+        oids.append(oid)
+    for oid in oids:
+        for other in rng.sample(oids, min(3, len(oids))):
+            if other is not oid:
+                graph.add_edge(oid, "related", other)
+    return graph
+
+
+#: The general news-site definition (shape of the paper's 44-line query).
+#: One query with nested blocks, so the article selection happens in a
+#: single where clause.
+NEWS_SITE_QUERY = """
+// CNN-demo style site: front page, category pages, article pages
+create FrontPage()
+where Articles(a), a -> "category" -> c
+create CategoryPage(c), ArticlePage(a)
+link FrontPage() -> "Category" -> CategoryPage(c),
+     CategoryPage(c) -> "Name" -> c,
+     CategoryPage(c) -> "Story" -> ArticlePage(a)
+collect CategoryPages(CategoryPage(c)), ArticlePages(ArticlePage(a))
+{
+  where a -> l -> v
+  link ArticlePage(a) -> l -> v
+}
+{
+  where a -> "related" -> r, Articles(r)
+  link ArticlePage(a) -> "Related" -> ArticlePage(r)
+}
+{
+  where a -> "top" -> t
+  link FrontPage() -> "TopStory" -> ArticlePage(a)
+}
+"""
+
+#: The sports-only derivation: the same query with **two extra
+#: predicates in one where clause** (exactly the delta the paper
+#: reports for the CNN sports-only site).
+SPORTS_SITE_QUERY = NEWS_SITE_QUERY.replace(
+    'where Articles(a), a -> "category" -> c\n',
+    'where Articles(a), a -> "category" -> c, a -> "category" -> s, s = "sports"\n',
+).replace(
+    "// CNN-demo style site: front page, category pages, article pages",
+    "// Sports-only version: two extra predicates in the first where clause",
+)
+
+
+def news_templates():
+    """Nine templates, as the paper reports for the CNN demo."""
+    from ..template import TemplateSet
+
+    templates = TemplateSet()
+    templates.add("front", """<html><head><title>News</title></head><body>
+<h1>Today's News</h1>
+<h2>Top stories</h2>
+<SFMT TopStory UL>
+<h2>Sections</h2>
+<SFMT Category UL ORDER=ascend KEY=Name>
+</body></html>
+""")
+    templates.add("category", """<html><head><title><SFMT Name></title></head><body>
+<h1>Section: <SFMT Name></h1>
+<SFMT Story UL>
+</body></html>
+""")
+    templates.add("article", """<html><head><title><SFMT headline></title></head><body>
+<h1><SFMT headline></h1>
+<p class="date"><SFMT date></p>
+<SIF image><SFMT image></SIF>
+<div class="body"><SFMT text></div>
+<SIF Related><h3>Related</h3><SFMT Related UL></SIF>
+</body></html>
+""")
+    templates.add("headline-only", """<b><SFMT headline></b> (<SFMT date>)""")
+    templates.add("summary", """<p><b><SFMT headline></b> &mdash; <SFMT text></p>""")
+    templates.add("banner", """<div class="banner"><SFMT headline></div>""")
+    templates.add("datebox", """<span class="date"><SFMT date></span>""")
+    templates.add("imagebox", """<SIF image><div class="img"><SFMT image></div></SIF>""")
+    templates.add("related-list", """<SIF Related><SFMT Related UL></SIF>""")
+    templates.for_object("FrontPage()", "front")
+    templates.for_collection("CategoryPages", "category")
+    templates.for_collection("ArticlePages", "article")
+    return templates

@@ -1,0 +1,229 @@
+"""Synthetic organization-site workload (the AT&T Labs-Research shape).
+
+The paper's largest example (section 5.1): "home pages of approximately
+400 users and pages for organizations and projects ... The data sources
+for this site are small relational databases that contain personnel and
+organizational data, structured files that contain project data, and
+existing HTML files" -- five sources in total (section 6.1), "defined by
+a 115-line query and 17 HTML templates (380 lines)".
+
+We cannot ship AT&T's data, so this module synthesizes the five sources
+at a configurable scale (default 400 people) and exercises exactly the
+code paths the authors used: CSV tables through the relational wrapper,
+record-jar files through the structured wrapper, legacy pages through the
+HTML wrapper, plus a publications BibTeX and a DDL file of lab-wide
+facts.  ``build_mediator`` wires them into a GAV mediator whose mappings
+produce the mediated People / Departments / Projects / Publications
+collections.
+
+Irregularities built in (section 6.3): some projects omit ``synopsis``,
+unsponsored projects have no ``sponsor``, some people lack phones or
+photos, lab vs. department directors share most-but-not-all attributes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..mediator import Mediator
+from ..wrappers import (
+    BibtexWrapper,
+    DdlWrapper,
+    ForeignKey,
+    HtmlSiteWrapper,
+    RelationalWrapper,
+    StructuredFileWrapper,
+    Table,
+)
+from .bibliography import FIRST_NAMES, LAST_NAMES, generate_entries
+
+AREAS = ["databases", "networking", "speech", "theory", "systems", "hci"]
+SPONSORS = ["DARPA", "NSF", "internal", "NIST"]
+
+
+def _person_pool(count: int, rng: random.Random) -> List[Tuple[str, str]]:
+    """(login, full name) pairs, unique logins."""
+    people: List[Tuple[str, str]] = []
+    seen: Dict[str, int] = {}
+    while len(people) < count:
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(LAST_NAMES)
+        base = (first[0] + last).lower().replace("-", "")
+        serial = seen.get(base, 0)
+        seen[base] = serial + 1
+        login = base if serial == 0 else f"{base}{serial}"
+        people.append((login, f"{first} {last}"))
+    return people
+
+
+def personnel_table(count: int, seed: int = 0) -> Table:
+    """The personnel relational table (source 1)."""
+    rng = random.Random(seed)
+    people = _person_pool(count, rng)
+    departments = max(2, count // 40)
+    rows = []
+    for index, (login, name) in enumerate(people):
+        dept = f"d{index % departments}"
+        phone = f"+1 973 360 {1000 + index:04d}" if rng.random() < 0.85 else ""
+        office = f"B{rng.randint(100, 299)}" if rng.random() < 0.9 else ""
+        photo = f"photos/{login}.gif" if rng.random() < 0.4 else ""
+        internal_notes = (
+            f"performance review {rng.randint(1995, 1998)}"
+            if rng.random() < 0.5
+            else ""
+        )
+        rows.append(
+            [login, name, f"{login}@research.example.com", phone, office,
+             dept, photo, internal_notes]
+        )
+    return Table(
+        "people",
+        ["login", "name", "email", "phone", "office", "dept", "photo", "internal_notes"],
+        rows,
+    )
+
+
+def departments_table(people: Table, seed: int = 0) -> Table:
+    """The organizational relational table (source 2)."""
+    rng = random.Random(seed + 1)
+    departments = sorted({row[5] for row in people.rows})
+    rows = []
+    for dept in departments:
+        members = [row[0] for row in people.rows if row[5] == dept]
+        director = rng.choice(members)
+        area = rng.choice(AREAS)
+        rows.append([dept, f"{area.capitalize()} Research", director, area])
+    return Table("departments", ["id", "name", "director", "area"], rows)
+
+
+def projects_text(people: Table, count: int = 0, seed: int = 0) -> str:
+    """The project structured file (source 3), with section 6.3's
+    irregularities: missing synopsis, missing sponsor."""
+    rng = random.Random(seed + 2)
+    logins = [row[0] for row in people.rows]
+    if count <= 0:
+        count = max(3, len(logins) // 12)
+    lines = ["%collection Projects", "%id name"]
+    for index in range(count):
+        area = rng.choice(AREAS)
+        lines.append("")
+        lines.append(f"name: project-{area}-{index}")
+        lines.append(f"title: The {area.capitalize()} Project {index}")
+        lines.append(f"area: {area}")
+        for member in rng.sample(logins, min(len(logins), rng.randint(2, 6))):
+            lines.append(f"member: {member}")
+        if rng.random() < 0.7:  # "some projects omitted the synopsis"
+            lines.append(
+                f"synopsis: Research on {area} at scale, phase {index % 3 + 1}."
+            )
+        if rng.random() < 0.5:  # "not all projects are sponsored"
+            lines.append(f"sponsor: {rng.choice(SPONSORS)}")
+    return "\n".join(lines) + "\n"
+
+
+def legacy_pages(people: Table, seed: int = 0, fraction: float = 0.15) -> Dict[str, str]:
+    """Hand-written legacy member pages (source 4), HTML-wrapped."""
+    rng = random.Random(seed + 3)
+    sampled = [row for row in people.rows if rng.random() < fraction]
+    pages: Dict[str, str] = {}
+    for row in sampled:
+        login, name = row[0], row[1]
+        others = [r[0] for r in sampled if r[0] != login]
+        links = "".join(
+            f'<p><a href="{other}.html">colleague {other}</a></p>'
+            for other in rng.sample(others, min(2, len(others)))
+        )
+        pages[f"{login}.html"] = (
+            f"<html><head><title>{name}'s old page</title></head><body>"
+            f"<h1>{name}</h1><p>Legacy homepage of {name}, kept for "
+            f"posterity.</p>{links}</body></html>"
+        )
+    return pages
+
+
+def lab_facts_ddl(seed: int = 0) -> str:
+    """Lab-wide facts in Strudel DDL (source 5)."""
+    return """
+collection LabFacts
+
+object lab {
+  name: "Example Labs Research"
+  address: "180 Park Avenue, Florham Park, NJ"
+  director: "The Lab Director"
+  mission: "Data management research for the novel problems of the Web."
+}
+member LabFacts: lab
+"""
+
+
+#: GAV mappings: mediated collections from the five staged sources.
+GAV_MAPPINGS = """
+where "personnel.people"(p), p -> l -> v
+create Person(p)
+link Person(p) -> l -> v
+collect People(Person(p))
+where "orgdb.departments"(d), d -> l -> v
+create Department(d)
+link Department(d) -> l -> v
+collect Departments(Department(d))
+where "orgdb.departments"(d), d -> "id" -> i,
+      "personnel.people"(p), p -> "dept" -> i
+link Department(d) -> "memberPerson" -> Person(p),
+     Person(p) -> "department" -> Department(d)
+where "orgdb.departments"(d), d -> "director" -> g,
+      "personnel.people"(p), p -> "login" -> g
+link Department(d) -> "directorPerson" -> Person(p)
+where "projects.Projects"(j), j -> l -> v
+create Project(j)
+link Project(j) -> l -> v
+collect Projects(Project(j))
+where "projects.Projects"(j), j -> "member" -> g,
+      "personnel.people"(p), p -> "login" -> g
+link Project(j) -> "memberPerson" -> Person(p),
+     Person(p) -> "project" -> Project(j)
+where "pubs.Publications"(b), b -> l -> v
+create Publication(b)
+link Publication(b) -> l -> v
+collect Publications(Publication(b))
+where "pubs.Publications"(b), b -> "author" -> a,
+      "personnel.people"(p), p -> "name" -> a
+link Publication(b) -> "authorPerson" -> Person(p),
+     Person(p) -> "publication" -> Publication(b)
+where "legacy.Pages"(w), w -> "path" -> v
+create LegacyPage(w)
+link LegacyPage(w) -> "path" -> v
+collect LegacyPages(LegacyPage(w))
+where "legacy.Pages"(w), w -> "title" -> t
+link LegacyPage(w) -> "title" -> t
+"""
+
+
+def build_mediator(
+    people: int = 400,
+    seed: int = 0,
+    publications: int = 0,
+) -> Mediator:
+    """Assemble the five-source mediator at the requested scale."""
+    table = personnel_table(people, seed)
+    departments = departments_table(table, seed)
+    if publications <= 0:
+        publications = max(10, people // 4)
+    author_pool = [row[1] for row in table.rows]
+    bibtex = generate_entries(publications, seed=seed + 4, author_pool=author_pool)
+    mediator = Mediator()
+    mediator.add_source(
+        "personnel",
+        RelationalWrapper([table], key_columns={"people": "login"}),
+    )
+    mediator.add_source(
+        "orgdb",
+        RelationalWrapper([departments], key_columns={"departments": "id"}),
+    )
+    mediator.add_source(
+        "projects", StructuredFileWrapper(projects_text(table, seed=seed))
+    )
+    mediator.add_source("pubs", BibtexWrapper(bibtex))
+    mediator.add_source("legacy", HtmlSiteWrapper(legacy_pages(table, seed=seed)))
+    mediator.add_mapping(GAV_MAPPINGS)
+    return mediator

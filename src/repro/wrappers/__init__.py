@@ -1,0 +1,24 @@
+"""Source wrappers: translate external representations into graphs."""
+
+from .base import Wrapper
+from .bibtex import PUBLICATIONS, BibtexWrapper, parse_bibtex
+from .ddlfiles import DdlWrapper
+from .htmlpages import HtmlSiteWrapper
+from .relational import ForeignKey, RelationalWrapper, Table, infer_atom
+from .structured import StructuredFileWrapper
+from .xmlfiles import XmlWrapper
+
+__all__ = [
+    "BibtexWrapper",
+    "DdlWrapper",
+    "ForeignKey",
+    "HtmlSiteWrapper",
+    "PUBLICATIONS",
+    "RelationalWrapper",
+    "StructuredFileWrapper",
+    "Table",
+    "Wrapper",
+    "XmlWrapper",
+    "infer_atom",
+    "parse_bibtex",
+]

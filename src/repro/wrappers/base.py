@@ -1,0 +1,40 @@
+"""Common wrapper interface.
+
+"A set of source-specific wrappers translates the external representation
+into the graph model" (paper section 2.1).  Every wrapper consumes one
+external source (text, file, or rows) and produces a
+:class:`~repro.graph.Graph`; the mediator then integrates several wrapper
+outputs into the data graph.
+
+The paper's wrappers were "simple AWK programs"; ours are small Python
+classes sharing this interface so the mediator can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph import Graph
+
+
+class Wrapper:
+    """Base class: a named translator from one source into a graph."""
+
+    #: short identifier of the source kind ("bibtex", "relational", ...)
+    source_kind = "abstract"
+
+    def __init__(self, source_name: str = "") -> None:
+        self.source_name = source_name or self.source_kind
+
+    def wrap(self) -> Graph:
+        """Translate the source into a fresh graph.
+
+        Subclasses implement :meth:`_wrap_into`; this wrapper method only
+        names the result.
+        """
+        graph = Graph(self.source_name)
+        self._wrap_into(graph)
+        return graph
+
+    def _wrap_into(self, graph: Graph) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

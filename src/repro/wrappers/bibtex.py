@@ -1,0 +1,284 @@
+"""BibTeX wrapper: bibliography files -> data graph.
+
+This is the wrapper behind the paper's running example (section 2.3):
+"the wrapper converts BibTeX files into a STRUDEL data graph", producing
+objects in a ``Publications`` collection whose attribute sets differ per
+entry -- exactly the irregularity section 6.3 discusses (``month``
+present on one entry and not another, ``journal`` vs. ``booktitle``).
+
+Supported BibTeX subset:
+
+* entries ``@type{key, field = value, ...}`` with ``{...}``, ``"..."``,
+  bare-number and macro-reference values; nested braces are balanced;
+* ``@string{name = "..."}`` macros, referenced by bare identifiers and
+  concatenated with ``#``;
+* ``@comment`` and ``@preamble`` entries are skipped;
+* the ``author`` and ``editor`` fields are split on `` and `` into
+  multiple edges, each carrying an ``authorOrder`` companion object when
+  ``ordered_authors`` is set (the integer-key idiom of section 6.3).
+
+Field typing: ``year``, ``volume`` and ``number`` become INTEGER atoms
+when they look numeric; ``abstract`` becomes a TEXT_FILE atom;
+``postscript``/``ps`` POSTSCRIPT_FILE; ``url`` URL; everything else
+STRING.  The entry type is exposed as the ``type`` attribute and the
+citation key as ``key``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WrapperError
+from ..graph import (
+    Atom,
+    AtomType,
+    Graph,
+    Oid,
+    integer,
+    postscript_file,
+    string,
+    text_file,
+    url,
+)
+from .base import Wrapper
+
+#: Default collection for wrapped entries.
+PUBLICATIONS = "Publications"
+
+_ENTRY_START = re.compile(r"@\s*([A-Za-z]+)\s*[{(]")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_:\-./+]*")
+
+_FIELD_TYPES = {
+    "abstract": AtomType.TEXT_FILE,
+    "postscript": AtomType.POSTSCRIPT_FILE,
+    "ps": AtomType.POSTSCRIPT_FILE,
+    "url": AtomType.URL,
+}
+_INTEGER_FIELDS = frozenset({"year", "volume", "number"})
+_MULTI_FIELDS = frozenset({"author", "editor"})
+
+
+class BibtexWrapper(Wrapper):
+    """Wraps BibTeX text.
+
+    Parameters
+    ----------
+    text:
+        The BibTeX source.
+    collection:
+        Collection name for the entries (default ``Publications``).
+    ordered_authors:
+        When true, each author edge target becomes a small object with
+        ``name`` and ``order`` attributes instead of a bare string --
+        the paper's "associating an integer key with each author"
+        solution for ordered lists in an unordered model.
+    """
+
+    source_kind = "bibtex"
+
+    def __init__(
+        self,
+        text: str,
+        collection: str = PUBLICATIONS,
+        ordered_authors: bool = False,
+        source_name: str = "",
+    ) -> None:
+        super().__init__(source_name)
+        self.text = text
+        self.collection = collection
+        self.ordered_authors = ordered_authors
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "BibtexWrapper":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(handle.read(), source_name=path, **kwargs)
+
+    # ------------------------------------------------------------ #
+
+    def _wrap_into(self, graph: Graph) -> None:
+        graph.create_collection(self.collection)
+        macros: Dict[str, str] = {}
+        for entry_type, key, fields in parse_bibtex(self.text, macros):
+            self._add_entry(graph, entry_type, key, fields)
+
+    def _add_entry(
+        self, graph: Graph, entry_type: str, key: str, fields: List[Tuple[str, str]]
+    ) -> None:
+        oid = graph.add_node(Oid(key) if key else None, hint="bib")
+        graph.add_edge(oid, "type", string(entry_type))
+        if key:
+            graph.add_edge(oid, "key", string(key))
+        for name, raw in fields:
+            label = name.lower()
+            if label in _MULTI_FIELDS:
+                self._add_people(graph, oid, label, raw)
+                continue
+            graph.add_edge(oid, label, _typed_value(label, raw))
+        graph.add_to_collection(self.collection, oid)
+
+    def _add_people(self, graph: Graph, oid: Oid, label: str, raw: str) -> None:
+        people = [p.strip() for p in re.split(r"\s+and\s+", raw) if p.strip()]
+        for order, person in enumerate(people, start=1):
+            if self.ordered_authors:
+                person_oid = graph.add_node(hint=label)
+                graph.add_edge(person_oid, "name", string(person))
+                graph.add_edge(person_oid, "order", integer(order))
+                graph.add_edge(oid, label, person_oid)
+            else:
+                graph.add_edge(oid, label, string(person))
+
+
+def _typed_value(label: str, raw: str) -> Atom:
+    cleaned = re.sub(r"\s+", " ", raw).strip()
+    if label in _INTEGER_FIELDS and cleaned.isdigit():
+        return integer(int(cleaned))
+    flavour = _FIELD_TYPES.get(label)
+    if flavour is AtomType.TEXT_FILE:
+        return text_file(cleaned)
+    if flavour is AtomType.POSTSCRIPT_FILE:
+        return postscript_file(cleaned)
+    if flavour is AtomType.URL:
+        return url(cleaned)
+    return string(cleaned)
+
+
+# -------------------------------------------------------------------- #
+# parser
+
+
+def parse_bibtex(
+    text: str, macros: Optional[Dict[str, str]] = None
+) -> List[Tuple[str, str, List[Tuple[str, str]]]]:
+    """Parse BibTeX text into ``(entry_type, key, [(field, value), ...])``.
+
+    ``macros`` accumulates ``@string`` definitions; month abbreviations
+    (``jan`` .. ``dec``) are predefined.
+    """
+    if macros is None:
+        macros = {}
+    for month in (
+        "jan feb mar apr may jun jul aug sep oct nov dec".split()
+    ):
+        macros.setdefault(month, month.capitalize())
+    entries: List[Tuple[str, str, List[Tuple[str, str]]]] = []
+    position = 0
+    while True:
+        match = _ENTRY_START.search(text, position)
+        if match is None:
+            break
+        entry_type = match.group(1).lower()
+        body, position = _read_balanced(text, match.end() - 1)
+        if entry_type in ("comment", "preamble"):
+            continue
+        if entry_type == "string":
+            name, value = _parse_macro(body, macros)
+            macros[name] = value
+            continue
+        key, fields = _parse_entry_body(body, macros)
+        entries.append((entry_type, key, fields))
+    return entries
+
+
+def _read_balanced(text: str, open_index: int) -> Tuple[str, int]:
+    """Read a ``{...}`` or ``(...)`` group starting at ``open_index``;
+    returns (inner text, index just past the closer)."""
+    opener = text[open_index]
+    closer = "}" if opener == "{" else ")"
+    depth = 0
+    index = open_index
+    while index < len(text):
+        char = text[index]
+        if char == opener or (opener == "{" and char == "{"):
+            depth += 1
+        elif char == closer or (opener == "{" and char == "}"):
+            depth -= 1
+            if depth == 0:
+                return text[open_index + 1 : index], index + 1
+        index += 1
+    raise WrapperError("unbalanced braces in BibTeX entry")
+
+
+def _parse_macro(body: str, macros: Dict[str, str]) -> Tuple[str, str]:
+    match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_\-]*)\s*=\s*", body)
+    if match is None:
+        raise WrapperError(f"bad @string body: {body[:40]!r}")
+    value, _ = _parse_value(body, match.end(), macros)
+    return match.group(1).lower(), value
+
+
+def _parse_entry_body(
+    body: str, macros: Dict[str, str]
+) -> Tuple[str, List[Tuple[str, str]]]:
+    comma = body.find(",")
+    if comma < 0:
+        return body.strip(), []
+    key = body[:comma].strip()
+    fields: List[Tuple[str, str]] = []
+    position = comma + 1
+    while position < len(body):
+        match = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_\-]*)\s*=\s*").match(body, position)
+        if match is None:
+            remaining = body[position:].strip()
+            if remaining and remaining != ",":
+                raise WrapperError(f"bad BibTeX field near {remaining[:40]!r}")
+            break
+        name = match.group(1).lower()
+        value, position = _parse_value(body, match.end(), macros)
+        fields.append((name, value))
+        comma_match = re.compile(r"\s*,").match(body, position)
+        if comma_match is None:
+            break
+        position = comma_match.end()
+    return key, fields
+
+
+def _parse_value(body: str, position: int, macros: Dict[str, str]) -> Tuple[str, int]:
+    """Parse a field value: concatenation of pieces joined by ``#``."""
+    pieces: List[str] = []
+    while True:
+        while position < len(body) and body[position].isspace():
+            position += 1
+        if position >= len(body):
+            break
+        char = body[position]
+        if char == "{":
+            piece, position = _read_balanced(body, position)
+            pieces.append(_strip_braces(piece))
+        elif char == '"':
+            end = position + 1
+            depth = 0
+            while end < len(body):
+                if body[end] == "{":
+                    depth += 1
+                elif body[end] == "}":
+                    depth -= 1
+                elif body[end] == '"' and depth == 0:
+                    break
+                end += 1
+            if end >= len(body):
+                raise WrapperError("unterminated quoted BibTeX value")
+            pieces.append(_strip_braces(body[position + 1 : end]))
+            position = end + 1
+        elif char.isdigit():
+            match = re.compile(r"\d+").match(body, position)
+            assert match is not None
+            pieces.append(match.group(0))
+            position = match.end()
+        else:
+            match = _IDENT.match(body, position)
+            if match is None:
+                raise WrapperError(f"bad BibTeX value near {body[position:][:40]!r}")
+            name = match.group(0).lower()
+            pieces.append(macros.get(name, name))
+            position = match.end()
+        hash_match = re.compile(r"\s*#").match(body, position)
+        if hash_match is None:
+            break
+        position = hash_match.end()
+    return "".join(pieces), position
+
+
+def _strip_braces(text: str) -> str:
+    """Remove protective braces BibTeX uses for capitalization."""
+    return text.replace("{", "").replace("}", "")

@@ -1,0 +1,124 @@
+"""Structured-file wrapper: key/value record files -> data graph.
+
+The AT&T site used "structured files that contain project data" (paper
+section 5.1).  The format here is the classic record-jar style:
+
+* records are separated by blank lines;
+* each line is ``key: value``; repeating a key makes the attribute
+  multi-valued; long values continue on lines indented with whitespace;
+* ``%collection Name`` sets the collection for subsequent records;
+* ``%type key typename`` declares a DDL atom type for a key;
+* ``%id key`` names the field whose value becomes the record's oid
+  (prefixed with the collection name);
+* ``#`` at line start is a comment.
+
+Missing keys simply produce no edge, so irregular records translate
+directly into semistructured objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WrapperError
+from ..graph import Graph, Oid, parse_typed_value, string
+from .base import Wrapper
+
+
+class StructuredFileWrapper(Wrapper):
+    """Wraps record-jar text into a graph."""
+
+    source_kind = "structured"
+
+    def __init__(
+        self, text: str, default_collection: str = "Records", source_name: str = ""
+    ) -> None:
+        super().__init__(source_name)
+        self.text = text
+        self.default_collection = default_collection
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "StructuredFileWrapper":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(handle.read(), source_name=path, **kwargs)
+
+    # ------------------------------------------------------------ #
+
+    def _wrap_into(self, graph: Graph) -> None:
+        collection = self.default_collection
+        types: Dict[str, str] = {}
+        id_key = ""
+        record: List[Tuple[str, str]] = []
+
+        def flush() -> None:
+            if record:
+                self._add_record(graph, collection, types, id_key, list(record))
+                record.clear()
+
+        for line_no, line in enumerate(self.text.splitlines(), start=1):
+            if line.startswith("#"):
+                continue
+            if not line.strip():
+                flush()
+                continue
+            if line.startswith("%"):
+                flush()
+                collection, id_key = self._directive(
+                    line, line_no, collection, types, id_key
+                )
+                continue
+            if line[0].isspace():
+                if not record:
+                    raise WrapperError(
+                        f"continuation line with no record (line {line_no})"
+                    )
+                key, value = record[-1]
+                record[-1] = (key, value + " " + line.strip())
+                continue
+            if ":" not in line:
+                raise WrapperError(f"expected 'key: value' (line {line_no}): {line!r}")
+            key, _, value = line.partition(":")
+            record.append((key.strip(), value.strip()))
+        flush()
+
+    def _directive(
+        self,
+        line: str,
+        line_no: int,
+        collection: str,
+        types: Dict[str, str],
+        id_key: str,
+    ) -> Tuple[str, str]:
+        words = line[1:].split()
+        if not words:
+            raise WrapperError(f"empty directive (line {line_no})")
+        name = words[0].lower()
+        if name == "collection" and len(words) == 2:
+            return words[1], id_key
+        if name == "type" and len(words) == 3:
+            types[words[1]] = words[2]
+            return collection, id_key
+        if name == "id" and len(words) == 2:
+            return collection, words[1]
+        raise WrapperError(f"bad directive (line {line_no}): {line!r}")
+
+    def _add_record(
+        self,
+        graph: Graph,
+        collection: str,
+        types: Dict[str, str],
+        id_key: str,
+        fields: List[Tuple[str, str]],
+    ) -> None:
+        oid: Optional[Oid] = None
+        if id_key:
+            for key, value in fields:
+                if key == id_key and value:
+                    oid = Oid(f"{collection}:{value}")
+                    break
+        node = graph.add_node(oid, hint=collection.lower())
+        for key, value in fields:
+            declared = types.get(key)
+            atom = parse_typed_value(declared, value) if declared else string(value)
+            graph.add_edge(node, key, atom)
+        graph.add_to_collection(collection, node)

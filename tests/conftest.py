@@ -1,0 +1,43 @@
+"""Shared fixtures: small graphs used across the suite."""
+
+import pytest
+
+from repro.graph import Graph, image_file, integer, string
+
+
+@pytest.fixture
+def pub_graph():
+    """Three publications with the paper's Fig. 2 irregularities."""
+    graph = Graph("pubs")
+    entries = [
+        {"title": "Strudel", "year": 1998, "month": "June",
+         "journal": "SIGMOD", "author": ["Mary", "Dan"]},
+        {"title": "WebOQL", "year": 1998,
+         "booktitle": "ICDE", "author": ["Gustavo"]},
+        {"title": "Tsimmis", "year": 1995,
+         "booktitle": "VLDB", "author": ["Hector", "Jennifer"]},
+    ]
+    for entry in entries:
+        oid = graph.add_node(hint="pub")
+        for label, value in entry.items():
+            values = value if isinstance(value, list) else [value]
+            for one in values:
+                atom = integer(one) if isinstance(one, int) else string(one)
+                graph.add_edge(oid, label, atom)
+        graph.add_to_collection("Publications", oid)
+    return graph
+
+
+@pytest.fixture
+def chain_graph():
+    """a -next-> b -next-> c -val-> "end", plus an image leaf on b."""
+    graph = Graph("chain")
+    a = graph.add_node()
+    b = graph.add_node()
+    c = graph.add_node()
+    graph.add_edge(a, "next", b)
+    graph.add_edge(b, "next", c)
+    graph.add_edge(c, "val", string("end"))
+    graph.add_edge(b, "figure", image_file("b.gif"))
+    graph.add_to_collection("Roots", a)
+    return graph, (a, b, c)

@@ -1,0 +1,52 @@
+"""Unit tests for DOT export (repro.graph.dot)."""
+
+from repro.graph import Graph, Oid, image_file, string, to_dot
+
+
+def _graph():
+    graph = Graph()
+    a = graph.add_node(Oid("a"))
+    b = graph.add_node(Oid('b "quoted"'))
+    graph.add_edge(a, "to", b)
+    graph.add_edge(a, "title", string("A long value that should be truncated here"))
+    graph.add_edge(b, "pic", image_file("x.gif"))
+    graph.add_to_collection("Things", a)
+    return graph
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(_graph())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"a" [shape=box];' in dot
+
+    def test_edges_labeled(self):
+        dot = to_dot(_graph())
+        assert '[label="to"]' in dot
+        assert '[label="title"]' in dot
+
+    def test_atoms_typed_and_truncated(self):
+        dot = to_dot(_graph(), max_value_length=10)
+        assert "(image)" in dot
+        assert "…" in dot
+
+    def test_quotes_escaped(self):
+        dot = to_dot(_graph())
+        assert '\\"quoted\\"' in dot
+
+    def test_shared_atoms_single_node(self):
+        graph = Graph()
+        a, b = graph.add_node(), graph.add_node()
+        graph.add_edge(a, "x", string("same"))
+        graph.add_edge(b, "y", string("same"))
+        dot = to_dot(graph)
+        assert dot.count("shape=ellipse") == 1
+
+    def test_cluster_collections(self):
+        dot = to_dot(_graph(), cluster_collections=True)
+        assert "subgraph cluster_0" in dot
+        assert 'label="Things"' in dot
+
+    def test_empty_graph(self):
+        assert "digraph" in to_dot(Graph())

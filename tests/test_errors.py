@@ -1,0 +1,76 @@
+"""Unit tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_strudel_error(self):
+        for name in dir(errors):
+            member = getattr(errors, name)
+            if isinstance(member, type) and issubclass(member, Exception):
+                if member is not errors.StrudelError:
+                    assert issubclass(member, errors.StrudelError), name
+
+    def test_struql_errors_grouped(self):
+        assert issubclass(errors.StruqlSyntaxError, errors.StruqlError)
+        assert issubclass(errors.StruqlSemanticError, errors.StruqlError)
+        assert issubclass(errors.StruqlEvaluationError, errors.StruqlError)
+
+    def test_template_errors_grouped(self):
+        assert issubclass(errors.TemplateSyntaxError, errors.TemplateError)
+        assert issubclass(errors.TemplateResolutionError, errors.TemplateError)
+
+    def test_graph_errors_grouped(self):
+        assert issubclass(errors.UnknownObjectError, errors.GraphError)
+        assert issubclass(errors.ImmutableNodeError, errors.GraphError)
+
+
+class TestMessages:
+    def test_unknown_object_mentions_oid(self):
+        error = errors.UnknownObjectError("pub7")
+        assert "pub7" in str(error)
+        assert error.oid == "pub7"
+
+    def test_syntax_errors_carry_position(self):
+        error = errors.StruqlSyntaxError("bad token", line=3, column=9)
+        assert "line 3" in str(error) and "column 9" in str(error)
+        assert error.line == 3
+
+    def test_ddl_error_line(self):
+        error = errors.DDLSyntaxError("oops", line=12)
+        assert "line 12" in str(error)
+
+    def test_template_error_line(self):
+        error = errors.TemplateSyntaxError("bad tag", line=4)
+        assert "line 4" in str(error)
+
+    def test_constraint_violation_carries_witness(self):
+        violation = errors.ConstraintViolation("forall X (...)", {"X": "p"})
+        assert violation.witness == {"X": "p"}
+        assert "counterexample" in str(violation)
+
+    def test_constraint_violation_without_witness(self):
+        violation = errors.ConstraintViolation("c")
+        assert "counterexample" not in str(violation)
+
+
+class TestCatchability:
+    def test_one_catch_at_api_boundary(self):
+        from repro.struql import parse
+
+        with pytest.raises(errors.StrudelError):
+            parse("??? not struql")
+
+    def test_template_catch(self):
+        from repro.template import parse_template
+
+        with pytest.raises(errors.StrudelError):
+            parse_template("<SFMT >")
+
+    def test_wrapper_catch(self):
+        from repro.wrappers import XmlWrapper
+
+        with pytest.raises(errors.StrudelError):
+            XmlWrapper("<unclosed>").wrap()

@@ -1,0 +1,148 @@
+"""Unit tests for EXPLAIN (repro.struql.explain) and the template linter
+(repro.template.lint)."""
+
+import pytest
+
+from repro.core import SiteSchema
+from repro.struql import parse
+from repro.struql.explain import explain
+from repro.template import TemplateSet
+from repro.template.lint import LintFinding, TemplateLinter, lint_templates
+from repro.workloads import (
+    HOMEPAGE_QUERY,
+    NEWS_SITE_QUERY,
+    bibliography_graph,
+    homepage_templates,
+    news_templates,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return bibliography_graph(30, seed=0)
+
+
+class TestExplain:
+    def test_selection_pushdown_visible(self, graph):
+        plan = explain(
+            'where Publications(x), x -> "year" -> y, y = "1998"', graph
+        )
+        lines = plan.splitlines()
+        assert lines[0].startswith("plan for:")
+        assert "bind y" in plan
+        assert plan.index("bind y") < plan.index("membership check")
+
+    def test_reverse_probe_access_path(self, graph):
+        plan = explain('where x -> "year" -> y, y = "1998"', graph)
+        assert 'reverse value-index probe "year"' in plan
+
+    def test_collection_scan_shown(self, graph):
+        plan = explain("where Publications(x), x -> l -> v", graph)
+        assert "collection scan Publications" in plan
+        assert "forward adjacency" in plan
+
+    def test_negation_shown_as_antijoin(self, graph):
+        plan = explain(
+            "where Publications(x), not(isImageFile(x))", graph
+        )
+        assert "anti-join" in plan
+
+    def test_naive_mode_shows_full_scans(self, graph):
+        plan = explain(
+            'where Publications(x), x -> "year" -> y', graph, use_indexes=False
+        )
+        assert "FULL SCAN" in plan
+
+    def test_path_access_paths(self, graph):
+        plan = explain("where Publications(x), x -> * -> y", graph)
+        assert "path expansion" in plan
+
+    def test_works_without_statistics(self):
+        plan = explain('where C(x), x -> "a" -> y')
+        assert "collection scan C" in plan
+
+    def test_accepts_query_object(self, graph):
+        program = parse('where Publications(x), x -> "year" -> y create P(x)')
+        plan = explain(program.queries[0], graph)
+        assert "plan for: query Q1" in plan
+
+
+class TestLinter:
+    def test_clean_templates_have_no_errors(self):
+        schema = SiteSchema.from_program(parse(NEWS_SITE_QUERY))
+        report = lint_templates(news_templates(), schema)
+        assert report.ok
+        assert "0 error(s)" in report.summary()
+
+    def test_typo_detected(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        templates.add("year", "<h1><SFMT Yearr></h1>")  # typo for Year
+        templates.for_collection("YearPages", "year")
+        report = lint_templates(templates, schema)
+        assert not report.ok
+        assert report.errors[0].kind == "unknown-attribute"
+        assert "Yearr" in str(report.errors[0])
+
+    def test_multi_step_expression_checked(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        # YearPage -Paper-> PaperPresentation exists; -Nope-> does not
+        good = TemplateSet()
+        good.add("year", "<SFMT Paper.abstractPage>")
+        good.for_collection("YearPages", "year")
+        assert lint_templates(good, schema).ok
+        bad = TemplateSet()
+        bad.add("year", "<SFMT Nope.title>")
+        bad.for_collection("YearPages", "year")
+        assert not lint_templates(bad, schema).ok
+
+    def test_arc_variable_pages_are_unknowable_not_errors(self):
+        schema = SiteSchema.from_program(parse(NEWS_SITE_QUERY))
+        templates = TemplateSet()
+        templates.add("article", "<SFMT anything_at_all>")
+        templates.for_collection("ArticlePages", "article")
+        report = lint_templates(templates, schema)
+        assert report.ok  # cannot prove it wrong
+        assert any(f.kind == "unknowable" for f in report.findings)
+
+    def test_loop_variables_tracked(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        templates.add(
+            "root", "<SFOR y IN YearPage><SFMT @y.Year></SFOR>"
+        )
+        templates.for_object("RootPage()", "root")
+        assert lint_templates(templates, schema).ok
+        bad = TemplateSet()
+        bad.add("root", "<SFOR y IN YearPage><SFMT @y.Yearr></SFOR>")
+        bad.for_object("RootPage()", "root")
+        assert not lint_templates(bad, schema).ok
+
+    def test_conditional_branches_linted(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        templates.add("root", "<SIF YearPage>x<SELSE><SFMT Nope></SIF>")
+        templates.for_object("RootPage()", "root")
+        assert not lint_templates(templates, schema).ok
+
+    def test_object_specific_assignment_resolved(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        templates.add("r", "<SFMT Oops>")
+        templates.for_object("RootPage()", "r")
+        report = lint_templates(templates, schema)
+        assert not report.ok
+        assert "RootPage" in report.errors[0].detail
+
+    def test_findings_deduplicated(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        templates = TemplateSet()
+        templates.add("r", "<SFMT Oops><SFMT Oops>")
+        templates.for_object("RootPage()", "r")
+        report = lint_templates(templates, schema)
+        assert len(report.errors) == 1
+
+    def test_homepage_templates_lint_clean(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        assert lint_templates(homepage_templates(), schema).ok

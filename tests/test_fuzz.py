@@ -1,0 +1,65 @@
+"""Fuzz properties: parsers must reject garbage with *library* errors,
+never with raw Python exceptions -- the contract callers of a database
+system rely on."""
+
+import string as stringmod
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StrudelError
+from repro.repository import ddl
+from repro.struql import parse
+from repro.template import parse_template
+from repro.core import parse_constraint
+
+_soup = st.text(
+    alphabet=stringmod.ascii_letters + stringmod.digits + ' ->(){}*.|,"=<>!\n\t_#/@',
+    max_size=120,
+)
+
+
+@given(_soup)
+@settings(max_examples=150, deadline=None)
+def test_struql_parser_never_crashes(text):
+    try:
+        parse(text)
+    except StrudelError:
+        pass  # rejection with a library error is correct
+
+
+@given(_soup)
+@settings(max_examples=150, deadline=None)
+def test_template_parser_never_crashes(text):
+    try:
+        parse_template(text)
+    except StrudelError:
+        pass
+
+
+@given(_soup)
+@settings(max_examples=150, deadline=None)
+def test_ddl_parser_never_crashes(text):
+    try:
+        ddl.loads(text)
+    except StrudelError:
+        pass
+
+
+@given(_soup)
+@settings(max_examples=150, deadline=None)
+def test_constraint_parser_never_crashes(text):
+    try:
+        parse_constraint(text)
+    except StrudelError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_bibtex_parser_never_crashes(text):
+    from repro.wrappers import parse_bibtex
+
+    try:
+        parse_bibtex(text)
+    except StrudelError:
+        pass

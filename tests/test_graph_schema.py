@@ -1,0 +1,79 @@
+"""Unit tests for a-posteriori schema extraction (repro.graph.schema)."""
+
+import pytest
+
+from repro.graph import Graph, integer, string, summarize
+
+
+@pytest.fixture
+def irregular_graph():
+    graph = Graph()
+    full = graph.add_node()
+    graph.add_edge(full, "title", string("t1"))
+    graph.add_edge(full, "year", integer(1998))
+    graph.add_edge(full, "author", string("a"))
+    graph.add_edge(full, "author", string("b"))
+    partial = graph.add_node()
+    graph.add_edge(partial, "title", string("t2"))
+    graph.add_to_collection("Pubs", full)
+    graph.add_to_collection("Pubs", partial)
+    return graph
+
+
+class TestSummarize:
+    def test_global_labels(self, irregular_graph):
+        schema = summarize(irregular_graph)
+        assert set(schema.labels) == {"title", "year", "author"}
+
+    def test_collection_names(self, irregular_graph):
+        assert summarize(irregular_graph).collection_names == ["Pubs"]
+
+    def test_collection_size(self, irregular_graph):
+        assert summarize(irregular_graph).collection_schema("Pubs").size == 2
+
+    def test_attribute_presence_counts(self, irregular_graph):
+        pubs = summarize(irregular_graph).collection_schema("Pubs")
+        assert pubs.attributes["title"].present_on == 2
+        assert pubs.attributes["year"].present_on == 1
+
+    def test_multivalued_detection(self, irregular_graph):
+        pubs = summarize(irregular_graph).collection_schema("Pubs")
+        assert pubs.attributes["author"].is_multivalued
+        assert not pubs.attributes["title"].is_multivalued
+
+    def test_irregular_attributes(self, irregular_graph):
+        pubs = summarize(irregular_graph).collection_schema("Pubs")
+        assert pubs.irregular_attributes == ["author", "year"]
+
+    def test_null_fraction(self, irregular_graph):
+        pubs = summarize(irregular_graph).collection_schema("Pubs")
+        # 2 objects x 3 columns = 6 cells; filled: title(2) + year(1) + author(1)
+        assert pubs.null_fraction == pytest.approx(1 - 4 / 6)
+
+    def test_regular_collection_has_zero_nulls(self):
+        graph = Graph()
+        for index in range(3):
+            oid = graph.add_node()
+            graph.add_edge(oid, "name", string(f"n{index}"))
+            graph.add_to_collection("C", oid)
+        assert summarize(graph).collection_schema("C").null_fraction == 0.0
+
+    def test_type_heterogeneity(self):
+        graph = Graph()
+        a, b = graph.add_node(), graph.add_node()
+        graph.add_edge(a, "addr", string("street"))
+        structured = graph.add_node()
+        graph.add_edge(b, "addr", structured)
+        graph.add_to_collection("C", a)
+        graph.add_to_collection("C", b)
+        schema = summarize(graph).collection_schema("C")
+        assert schema.attributes["addr"].is_type_heterogeneous
+
+    def test_overall_null_fraction_weighted(self, irregular_graph):
+        schema = summarize(irregular_graph)
+        assert 0.0 < schema.overall_null_fraction < 1.0
+
+    def test_empty_graph(self):
+        schema = summarize(Graph())
+        assert schema.labels == []
+        assert schema.overall_null_fraction == 0.0

@@ -1,0 +1,183 @@
+"""Unit tests for incremental site maintenance (repro.core.maintenance).
+
+The contract under test everywhere: after any sequence of updates, the
+maintained site graph equals a fresh evaluation over the current data.
+"""
+
+import pytest
+
+from repro.core import SiteMaintainer
+from repro.graph import Graph, Oid, integer, string
+from repro.struql import evaluate, parse
+from repro.workloads import HOMEPAGE_QUERY, bibliography_graph
+
+FLAT_QUERY = """
+create Root()
+where Items(x), x -> "name" -> n
+create Page(x)
+link Page(x) -> "name" -> n, Root() -> "Item" -> Page(x)
+collect Pages(Page(x))
+"""
+
+PATH_QUERY = """
+where Items(x), x -> * -> y, Items(y)
+create Pair(x, y)
+link Pair(x, y) -> "from" -> x
+collect Pairs(Pair(x, y))
+"""
+
+NEG_QUERY = """
+where Items(x), not(x -> "hidden" -> h)
+create Page(x)
+collect Visible(Page(x))
+"""
+
+
+def _canon(graph):
+    return (
+        sorted(
+            (s.name, l, t.name if isinstance(t, Oid) else repr(t))
+            for s, l, t in graph.edges()
+        ),
+        sorted(o.name for o in graph.nodes()),
+        {c: sorted(o.name for o in graph.collection(c))
+         for c in graph.collection_names()},
+    )
+
+
+def _assert_consistent(maintainer):
+    fresh = evaluate(parse_cached(maintainer), maintainer.data_graph)
+    assert _canon(maintainer.site_graph) == _canon(fresh)
+
+
+def parse_cached(maintainer):
+    return maintainer.program
+
+
+@pytest.fixture
+def flat():
+    data = Graph()
+    for index in range(3):
+        oid = data.add_node()
+        data.add_edge(oid, "name", string(f"item{index}"))
+        data.add_to_collection("Items", oid)
+    return SiteMaintainer(FLAT_QUERY, data)
+
+
+class TestSeeding:
+    def test_add_object_seeds(self, flat):
+        flat.add_object("Items", [("name", string("new"))])
+        assert flat.last_report.queries_seeded == 1
+        assert flat.last_report.queries_skipped == 1  # the create-Root query
+        assert flat.last_report.full_rebuilds == 0
+        _assert_consistent(flat)
+
+    def test_add_edge_seeds(self, flat):
+        member = flat.data_graph.collection("Items")[0]
+        flat.add_edge(member, "name", string("alias"))
+        assert flat.last_report.queries_seeded == 1
+        _assert_consistent(flat)
+
+    def test_irrelevant_edge_skipped(self, flat):
+        member = flat.data_graph.collection("Items")[0]
+        flat.add_edge(member, "unrelated", string("x"))
+        assert flat.last_report.queries_seeded == 0
+        assert flat.last_report.queries_recomputed == 0
+        _assert_consistent(flat)
+
+    def test_membership_addition(self, flat):
+        loose = flat.data_graph.add_node()
+        flat.data_graph.add_edge(loose, "name", string("loose"))
+        flat.add_to_collection("Items", loose)
+        assert flat.last_report.queries_seeded == 1
+        _assert_consistent(flat)
+
+    def test_seeding_adds_only_the_delta(self, flat):
+        before_edges = flat.site_graph.edge_count
+        flat.add_object("Items", [("name", string("delta"))])
+        # one Page node, name + Item edges, one collect: small delta
+        assert flat.last_report.nodes_added == 1
+        assert 0 < flat.last_report.edges_added <= 3
+        assert flat.site_graph.edge_count == before_edges + flat.last_report.edges_added
+
+
+class TestRecomputeFallbacks:
+    def test_nested_block_match_recomputes(self):
+        data = bibliography_graph(6, seed=90)
+        maintainer = SiteMaintainer(HOMEPAGE_QUERY, data)
+        pub = data.collection("Publications")[0]
+        maintainer.add_edge(pub, "year", integer(1888))
+        assert maintainer.last_report.queries_recomputed >= 1
+        assert maintainer.last_report.full_rebuilds == 0
+        _assert_consistent(maintainer)
+        assert maintainer.site_graph.has_node(Oid("YearPage(1888)"))
+
+    def test_path_query_recomputes(self):
+        data = Graph()
+        a, b = data.add_node(), data.add_node()
+        data.add_edge(a, "to", b)
+        data.add_to_collection("Items", a)
+        data.add_to_collection("Items", b)
+        maintainer = SiteMaintainer(PATH_QUERY, data)
+        c = data.add_node()
+        data.add_to_collection("Items", c)
+        maintainer.add_edge(b, "to", c)
+        assert maintainer.last_report.queries_recomputed == 1
+        _assert_consistent(maintainer)
+
+
+class TestFullRebuild:
+    def test_negation_rebuilds(self):
+        data = Graph()
+        oid = data.add_node()
+        data.add_edge(oid, "name", string("x"))
+        data.add_to_collection("Items", oid)
+        maintainer = SiteMaintainer(NEG_QUERY, data)
+        assert maintainer.site_graph.collection_cardinality("Visible") == 1
+        maintainer.add_edge(oid, "hidden", string("yes"))
+        assert maintainer.last_report.full_rebuilds == 1
+        # the page really disappeared -- additive maintenance could not do this
+        assert maintainer.site_graph.collection_cardinality("Visible") == 0
+        _assert_consistent(maintainer)
+
+    def test_edge_deletion_rebuilds(self, flat):
+        member = flat.data_graph.collection("Items")[0]
+        target = flat.data_graph.attribute(member, "name")
+        flat.remove_edge(member, "name", target)
+        assert flat.last_report.full_rebuilds == 1
+        _assert_consistent(flat)
+
+    def test_object_deletion_rebuilds(self, flat):
+        member = flat.data_graph.collection("Items")[0]
+        flat.remove_object(member)
+        assert flat.last_report.full_rebuilds == 1
+        _assert_consistent(flat)
+
+
+class TestSequences:
+    def test_mixed_update_sequence_stays_consistent(self):
+        data = bibliography_graph(8, seed=91)
+        maintainer = SiteMaintainer(HOMEPAGE_QUERY, data)
+        maintainer.add_object(
+            "Publications",
+            [("title", string("Fresh")), ("year", integer(1998)),
+             ("category", string("web")), ("author", string("Ada"))],
+        )
+        _assert_consistent(maintainer)
+        pub = maintainer.data_graph.collection("Publications")[1]
+        maintainer.add_edge(pub, "category", string("systems"))
+        _assert_consistent(maintainer)
+        maintainer.add_edge(pub, "author", string("Grace"))
+        _assert_consistent(maintainer)
+        maintainer.remove_edge(pub, "author", string("Grace"))
+        _assert_consistent(maintainer)
+
+    def test_report_merge(self):
+        from repro.core import MaintenanceReport
+
+        left = MaintenanceReport(queries_seeded=1, edges_added=2)
+        right = MaintenanceReport(queries_skipped=3, edges_added=1)
+        left.merge(right)
+        assert left.queries_seeded == 1
+        assert left.queries_skipped == 3
+        assert left.edges_added == 3

@@ -1,0 +1,96 @@
+"""Property-based test: the maintenance invariant under random update
+sequences.
+
+For any sequence of insert-style updates applied through the maintainer,
+the maintained site graph must equal a fresh evaluation of the program
+over the resulting data graph.  This is the central correctness property
+of repro.core.maintenance, so it gets the hypothesis treatment.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SiteMaintainer
+from repro.graph import Graph, Oid, integer, string
+from repro.struql import evaluate
+
+SITE_QUERY = """
+create Root()
+where Items(x), x -> "name" -> n
+create Page(x)
+link Page(x) -> "name" -> n, Root() -> "Item" -> Page(x)
+collect Pages(Page(x))
+{
+  where x -> "group" -> g
+  create GroupPage(g)
+  link GroupPage(g) -> "Member" -> Page(x), Root() -> "Group" -> GroupPage(g)
+  collect Groups(GroupPage(g))
+}
+"""
+
+# update operations: (kind, payload)
+_updates = st.lists(
+    st.one_of(
+        st.tuples(st.just("object"), st.integers(0, 5)),       # add object
+        st.tuples(st.just("group-edge"), st.integers(0, 5)),   # add group edge
+        st.tuples(st.just("name-edge"), st.integers(0, 5)),    # extra name
+        st.tuples(st.just("noise-edge"), st.integers(0, 5)),   # irrelevant
+        st.tuples(st.just("member"), st.integers(0, 5)),       # collection add
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _canon(graph):
+    return (
+        sorted(
+            (s.name, l, t.name if isinstance(t, Oid) else repr(t))
+            for s, l, t in graph.edges()
+        ),
+        sorted(o.name for o in graph.nodes()),
+        {c: sorted(o.name for o in graph.collection(c))
+         for c in graph.collection_names()},
+    )
+
+
+@given(_updates)
+@settings(max_examples=40, deadline=None)
+def test_maintenance_equals_fresh_evaluation(updates):
+    data = Graph()
+    seed_items = []
+    for index in range(2):
+        oid = data.add_node()
+        data.add_edge(oid, "name", string(f"seed{index}"))
+        data.add_to_collection("Items", oid)
+        seed_items.append(oid)
+    maintainer = SiteMaintainer(SITE_QUERY, data)
+
+    loose_nodes = []
+    serial = 0
+    for kind, which in updates:
+        serial += 1
+        items = maintainer.data_graph.collection("Items")
+        if kind == "object":
+            maintainer.add_object(
+                "Items",
+                [("name", string(f"obj{serial}")),
+                 ("group", string(f"g{which % 3}"))],
+            )
+        elif kind == "group-edge":
+            target = items[which % len(items)]
+            maintainer.add_edge(target, "group", string(f"g{which % 3}"))
+        elif kind == "name-edge":
+            target = items[which % len(items)]
+            maintainer.add_edge(target, "name", string(f"alias{serial}"))
+        elif kind == "noise-edge":
+            target = items[which % len(items)]
+            maintainer.add_edge(target, "noise", integer(serial))
+        else:  # member: promote a loose node
+            if not loose_nodes:
+                loose = maintainer.data_graph.add_node()
+                maintainer.data_graph.add_edge(loose, "name", string(f"loose{serial}"))
+                loose_nodes.append(loose)
+            maintainer.add_to_collection("Items", loose_nodes.pop())
+        assert maintainer.last_report.full_rebuilds == 0  # all inserts
+    fresh = evaluate(maintainer.program, maintainer.data_graph)
+    assert _canon(maintainer.site_graph) == _canon(fresh)

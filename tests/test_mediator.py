@@ -1,0 +1,144 @@
+"""Unit tests for the GAV warehousing mediator (repro.mediator)."""
+
+import pytest
+
+from repro.errors import MediatorError
+from repro.graph import Oid
+from repro.mediator import Mediator
+from repro.repository import Repository
+from repro.wrappers import DdlWrapper
+
+SOURCE_A = """
+collection People
+object mff { name: "Mary" login: "mff" }
+object suciu { name: "Dan" login: "suciu" }
+member People: mff, suciu
+"""
+
+SOURCE_B = """
+collection Pubs
+object p1 { title: "Strudel" writer: "mff" }
+member Pubs: p1
+"""
+
+
+def _mediator(repo=None):
+    mediator = Mediator(repository=repo)
+    mediator.add_source("a", DdlWrapper(SOURCE_A))
+    mediator.add_source("b", DdlWrapper(SOURCE_B))
+    return mediator
+
+
+class TestConfiguration:
+    def test_duplicate_source_rejected(self):
+        mediator = _mediator()
+        with pytest.raises(MediatorError):
+            mediator.add_source("a", DdlWrapper(SOURCE_A))
+
+    def test_remove_source(self):
+        mediator = _mediator()
+        mediator.remove_source("b")
+        assert mediator.source_names() == ["a"]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(MediatorError):
+            _mediator().remove_source("ghost")
+
+    def test_import_requires_known_source(self):
+        with pytest.raises(MediatorError):
+            _mediator().import_collection("ghost", "People")
+
+    def test_materialize_without_sources(self):
+        with pytest.raises(MediatorError):
+            Mediator().materialize()
+
+
+class TestStaging:
+    def test_collections_prefixed_per_source(self):
+        staging = _mediator().staging_graph()
+        assert staging.has_collection("a.People")
+        assert staging.has_collection("b.Pubs")
+
+    def test_report_source_sizes(self):
+        mediator = _mediator()
+        mediator.staging_graph()
+        assert set(mediator.last_report.source_sizes) == {"a", "b"}
+
+
+class TestMaterialize:
+    def test_import_collection_verbatim(self):
+        mediator = _mediator()
+        mediator.import_collection("a", "People")
+        warehouse = mediator.materialize()
+        assert warehouse.collection_cardinality("People") == 2
+        assert warehouse.has_node(Oid("mff"))  # oids preserved
+
+    def test_import_renaming(self):
+        mediator = _mediator()
+        mediator.import_collection("a", "People", as_name="Staff")
+        warehouse = mediator.materialize()
+        assert warehouse.collection_cardinality("Staff") == 2
+
+    def test_import_unknown_collection_raises(self):
+        mediator = _mediator()
+        mediator.import_collection("a", "Nothing")
+        with pytest.raises(MediatorError):
+            mediator.materialize()
+
+    def test_gav_mapping_builds_mediated_collection(self):
+        mediator = _mediator()
+        mediator.add_mapping(
+            """
+            where "a.People"(p), p -> l -> v
+            create Person(p)
+            link Person(p) -> l -> v
+            collect Persons(Person(p))
+            """
+        )
+        warehouse = mediator.materialize()
+        assert warehouse.collection_cardinality("Persons") == 2
+
+    def test_gav_join_across_sources(self):
+        mediator = _mediator()
+        mediator.add_mapping(
+            """
+            where "a.People"(p), p -> l -> v
+            create Person(p)
+            link Person(p) -> l -> v
+            collect Persons(Person(p))
+            where "b.Pubs"(q), q -> "writer" -> w,
+                  "a.People"(p), p -> "login" -> w
+            create Pub(q)
+            link Pub(q) -> "author" -> Person(p)
+            collect Pubs(Pub(q))
+            """
+        )
+        warehouse = mediator.materialize()
+        pub = warehouse.collection("Pubs")[0]
+        author = warehouse.attribute(pub, "author")
+        assert str(warehouse.attribute(author, "name")) == "Mary"
+
+    def test_warehouse_stored_in_repository(self):
+        repo = Repository()
+        mediator = _mediator(repo)
+        mediator.import_collection("a", "People")
+        mediator.materialize("data")
+        assert "data" in repo
+
+    def test_refresh_recomputes(self):
+        mediator = _mediator()
+        mediator.import_collection("a", "People")
+        first = mediator.materialize()
+        second = mediator.refresh()
+        assert first is not second
+        assert first.stats() == second.stats()
+
+    def test_report_counts(self):
+        mediator = _mediator()
+        mediator.import_collection("a", "People")
+        mediator.add_mapping('where "b.Pubs"(q) create P(q) collect Ps(P(q))')
+        mediator.materialize()
+        report = mediator.last_report
+        assert report.collections_imported == 1
+        assert report.mappings_run == 1
+        assert report.warehouse_size["nodes"] > 0

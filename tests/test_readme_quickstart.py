@@ -1,0 +1,57 @@
+"""Documentation hygiene: the README quickstart must actually run.
+
+The code block is duplicated here (READMEs drift; this test pins it) --
+if this test needs changing, update README.md in the same commit.
+"""
+
+from repro import BibtexWrapper, SiteBuilder, SiteDefinition, TemplateSet
+
+BIBTEX = """
+@article{p1, title={Alpha}, author={Mary and Dan}, year=1998}
+@inproceedings{p2, title={Beta}, author={Ada}, year=1997, booktitle={PODS}}
+"""
+
+SITE_QUERY = """
+create RootPage()
+where Publications(x), x -> l -> v
+create PaperPage(x)
+link PaperPage(x) -> l -> v
+collect PaperPages(PaperPage(x))
+{
+  where x -> "year" -> y
+  create YearPage(y)
+  link YearPage(y) -> "Paper" -> PaperPage(x),
+       YearPage(y) -> "Year" -> y,
+       RootPage() -> "YearPage" -> YearPage(y)
+  collect YearPages(YearPage(y))
+}
+"""
+
+
+def test_readme_quickstart(tmp_path):
+    # 1. data: wrap a BibTeX file into a semistructured data graph
+    data = BibtexWrapper(BIBTEX).wrap()
+
+    # 3. presentation: HTML templates, selected per object/collection
+    templates = TemplateSet()
+    templates.add("root", '<h1>Papers</h1><SFMT YearPage UL ORDER=descend KEY=Year>')
+    templates.add("year", '<h2><SFMT Year></h2><SFMT Paper UL>')
+    templates.add("paper", '<b><SFMT title></b> (<SFMT year>) by <SFMT author ENUM>')
+    templates.for_object("RootPage()", "root")
+    templates.for_collection("YearPages", "year")
+    templates.for_collection("PaperPages", "paper")
+
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition("home", SITE_QUERY, templates, roots=["RootPage()"])
+    )
+    built = builder.build("home")
+    paths = built.write(str(tmp_path))
+
+    assert len(paths) == built.generated.page_count == 5  # root + 2 years + 2 papers
+    index = built.pages["index.html"]
+    assert "1998" in index and "1997" in index
+    assert index.index("1998") < index.index("1997")  # ORDER=descend
+    assert built.generated.dangling_links() == []
+    paper_pages = [p for name, p in built.pages.items() if "PaperPage" in name]
+    assert any("Mary, Dan" in page for page in paper_pages)

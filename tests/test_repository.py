@@ -1,0 +1,138 @@
+"""Unit tests for the data repository (repro.repository)."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.graph import Graph, string
+from repro.repository import IndexStatistics, Repository, SchemaIndex
+
+
+def _small_graph():
+    graph = Graph()
+    a, b = graph.add_node(), graph.add_node()
+    graph.add_edge(a, "name", string("x"))
+    graph.add_edge(a, "to", b)
+    graph.add_to_collection("C", a)
+    return graph
+
+
+class TestInMemory:
+    def test_store_fetch(self):
+        repo = Repository()
+        graph = _small_graph()
+        repo.store("g", graph)
+        assert repo.fetch("g") is graph
+
+    def test_contains(self):
+        repo = Repository()
+        repo.store("g", _small_graph())
+        assert "g" in repo
+        assert "h" not in repo
+
+    def test_fetch_unknown_raises(self):
+        with pytest.raises(RepositoryError):
+            Repository().fetch("ghost")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RepositoryError):
+            Repository().store("", _small_graph())
+
+    def test_delete(self):
+        repo = Repository()
+        repo.store("g", _small_graph())
+        repo.delete("g")
+        assert "g" not in repo
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(RepositoryError):
+            Repository().delete("ghost")
+
+    def test_graph_names_sorted(self):
+        repo = Repository()
+        repo.store("zz", _small_graph())
+        repo.store("aa", _small_graph())
+        assert repo.graph_names() == ["aa", "zz"]
+
+    def test_catalog(self):
+        repo = Repository()
+        repo.store("g", _small_graph())
+        assert repo.catalog()["g"]["nodes"] == 2
+
+
+class TestPersistence:
+    def test_round_trip_through_disk(self, tmp_path):
+        repo = Repository(str(tmp_path))
+        graph = _small_graph()
+        repo.store("g", graph)
+        fresh = Repository(str(tmp_path))  # new instance, cold cache
+        reloaded = fresh.fetch("g")
+        assert reloaded.stats() == graph.stats()
+
+    def test_disk_listing(self, tmp_path):
+        repo = Repository(str(tmp_path))
+        repo.store("g", _small_graph())
+        assert Repository(str(tmp_path)).graph_names() == ["g"]
+
+    def test_delete_removes_file(self, tmp_path):
+        repo = Repository(str(tmp_path))
+        repo.store("g", _small_graph())
+        repo.delete("g")
+        assert "g" not in Repository(str(tmp_path))
+
+    def test_store_without_persist(self, tmp_path):
+        repo = Repository(str(tmp_path))
+        repo.store("g", _small_graph(), persist=False)
+        assert "g" not in Repository(str(tmp_path))
+
+
+class TestIndexStatistics:
+    def test_snapshot_counts(self):
+        stats = IndexStatistics.from_graph(_small_graph())
+        assert stats.node_count == 2
+        assert stats.edge_count == 2
+        assert stats.label_cardinality == {"name": 1, "to": 1}
+        assert stats.collection_cardinality == {"C": 1}
+
+    def test_estimates(self):
+        stats = IndexStatistics.from_graph(_small_graph())
+        assert stats.estimate_label_extent("name") == 1
+        assert stats.estimate_label_extent("missing") == 0
+        assert stats.estimate_any_label_extent() == 2
+        assert stats.estimate_collection("C") == 1
+
+    def test_value_lookup_estimate(self):
+        graph = Graph()
+        oid = graph.add_node()
+        for index in range(10):
+            graph.add_edge(oid, "v", string(f"x{index}"))
+        stats = IndexStatistics.from_graph(graph)
+        assert stats.estimate_value_lookup("v") == 1  # all distinct
+        assert stats.estimate_value_lookup() >= 1
+
+    def test_average_out_degree(self):
+        stats = IndexStatistics.from_graph(_small_graph())
+        assert stats.average_out_degree() == 1.0
+
+    def test_empty_graph_estimates(self):
+        stats = IndexStatistics.from_graph(Graph())
+        assert stats.average_out_degree() == 0.0
+        assert stats.estimate_value_lookup() == 0
+
+    def test_repository_statistics_accessor(self):
+        repo = Repository()
+        repo.store("g", _small_graph())
+        assert repo.statistics("g").node_count == 2
+
+
+class TestSchemaIndex:
+    def test_contents(self):
+        index = SchemaIndex.from_graph(_small_graph())
+        assert index.labels == ["name", "to"]
+        assert index.collections == ["C"]
+        assert index.has_label("name")
+        assert not index.has_collection("D")
+
+    def test_repository_accessor(self):
+        repo = Repository()
+        repo.store("g", _small_graph())
+        assert repo.schema_index("g").has_collection("C")

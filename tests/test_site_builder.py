@@ -1,0 +1,181 @@
+"""Unit tests for the site-management facade (repro.core.site, .versions, .stats)."""
+
+import pytest
+
+from repro.core import (
+    SiteBuilder,
+    SiteDefinition,
+    derive_version,
+    diff_definitions,
+    measure_site,
+)
+from repro.errors import SiteDefinitionError
+from repro.struql import parse
+from repro.workloads import HOMEPAGE_QUERY, bibliography_graph, homepage_templates
+
+
+@pytest.fixture
+def builder():
+    data = bibliography_graph(10, seed=6)
+    builder = SiteBuilder(data)
+    builder.define(
+        SiteDefinition(
+            "home",
+            HOMEPAGE_QUERY,
+            homepage_templates(),
+            roots=["RootPage()"],
+            constraints=[
+                'forall X (YearPages(X) => exists Y (RootPage(Y) and Y -> "YearPage" -> X))'
+            ],
+        )
+    )
+    return builder
+
+
+class TestDefinitions:
+    def test_duplicate_name_rejected(self, builder):
+        with pytest.raises(SiteDefinitionError):
+            builder.define(
+                SiteDefinition("home", HOMEPAGE_QUERY, homepage_templates())
+            )
+
+    def test_unknown_definition(self, builder):
+        with pytest.raises(SiteDefinitionError):
+            builder.definition("ghost")
+
+    def test_definition_names(self, builder):
+        assert builder.definition_names() == ["home"]
+
+    def test_site_schema_accessor(self, builder):
+        schema = builder.definition("home").site_schema()
+        assert "YearPage" in schema.functions
+
+
+class TestBuild:
+    def test_full_pipeline(self, builder):
+        built = builder.build("home")
+        assert built.generated.page_count > 5
+        assert built.site_graph.node_count > 10
+        assert built.generated.dangling_links() == []
+
+    def test_constraints_checked(self, builder):
+        built = builder.build("home")
+        assert all(bool(r) for r in built.constraint_results.values())
+
+    def test_constraints_skippable(self, builder):
+        built = builder.build("home", check_constraints=False)
+        assert built.constraint_results == {}
+
+    def test_site_graph_reuse(self, builder):
+        site_graph = builder.site_graph("home")
+        built = builder.build("home", site_graph=site_graph)
+        assert built.site_graph is site_graph
+
+    def test_data_graph_untouched(self, builder):
+        before = builder.data_graph.stats()
+        builder.build("home")
+        assert builder.data_graph.stats() == before
+
+    def test_write(self, builder, tmp_path):
+        built = builder.build("home")
+        paths = built.write(str(tmp_path))
+        assert len(paths) == built.generated.page_count
+
+    def test_default_roots_from_zero_arg_skolems(self):
+        data = bibliography_graph(5, seed=1)
+        builder = SiteBuilder(data)
+        builder.define(
+            SiteDefinition("home", HOMEPAGE_QUERY, homepage_templates())
+        )  # no roots given
+        built = builder.build("home")
+        assert built.generated.page_count > 0
+
+    def test_no_possible_roots_raises(self):
+        data = bibliography_graph(5, seed=1)
+        builder = SiteBuilder(data)
+        templates = homepage_templates()
+        builder.define(
+            SiteDefinition(
+                "odd",
+                "where Publications(x) create P(x) collect Presentations(P(x))",
+                templates,
+            )
+        )
+        with pytest.raises(SiteDefinitionError):
+            builder.build("odd")
+
+    def test_dynamic_site_accessor(self, builder):
+        dynamic = builder.dynamic_site("home")
+        assert dynamic.roots()
+
+
+class TestVersions:
+    def test_template_only_version(self, builder):
+        base = builder.definition("home")
+        derived = derive_version(
+            base, "external", template_overrides={"rootpage": "<html>external</html>"}
+        )
+        builder.define(derived)
+        diff = diff_definitions(base, derived)
+        assert diff.query_lines_added == 0
+        assert diff.templates_changed == 1
+        assert diff.changed_template_names == ["rootpage"]
+        assert not diff.new_queries_needed
+
+    def test_derived_version_builds(self, builder):
+        base = builder.definition("home")
+        derived = derive_version(
+            base, "external", template_overrides={"rootpage": "<html>x</html>"}
+        )
+        builder.define(derived)
+        site_graph = builder.site_graph("home")
+        built = builder.build("external", site_graph=site_graph)
+        assert built.pages["index.html"] == "<html>x</html>"
+
+    def test_new_template_added_in_override(self, builder):
+        base = builder.definition("home")
+        derived = derive_version(
+            base, "plus", template_overrides={"brand-new": "<p>new</p>"}
+        )
+        assert derived.templates.get("brand-new") is not None
+
+    def test_query_version(self, builder):
+        base = builder.definition("home")
+        sports_like = derive_version(
+            base, "filtered",
+            query=HOMEPAGE_QUERY.replace(
+                "where Publications(x), x -> l -> v",
+                'where Publications(x), x -> "year" -> yy, yy = "1998", x -> l -> v',
+            ),
+        )
+        diff = diff_definitions(base, sports_like)
+        assert diff.query_lines_added == 1
+        assert diff.templates_changed == 0
+
+    def test_roots_and_constraints_inherited(self, builder):
+        base = builder.definition("home")
+        derived = derive_version(base, "copy")
+        assert derived.roots == base.roots
+        assert derived.constraints == base.constraints
+
+
+class TestStats:
+    def test_measure_site(self, builder):
+        built = builder.build("home")
+        stats = built.stats(sources=1)
+        assert stats.query_lines == parse(HOMEPAGE_QUERY).line_count()
+        assert stats.link_clauses == 11
+        assert stats.template_count == 6
+        assert stats.pages == built.generated.page_count
+        assert stats.sources == 1
+
+    def test_as_row_keys(self, builder):
+        row = builder.build("home").stats().as_row()
+        assert set(row) == {
+            "site", "query lines", "link clauses", "templates",
+            "template lines", "pages", "sources",
+        }
+
+    def test_measure_with_partial_artifacts(self):
+        stats = measure_site("partial", parse(HOMEPAGE_QUERY))
+        assert stats.pages == 0 and stats.query_lines > 0

@@ -1,0 +1,122 @@
+"""Unit tests for site schemas (repro.core.schema)."""
+
+import pytest
+
+from repro.core import NS, SiteSchema
+from repro.struql import parse
+from repro.workloads import HOMEPAGE_QUERY
+
+FIG3_LIKE = """
+create RootPage(), AbstractsPage()
+link RootPage() -> "Abstract" -> AbstractsPage()
+where Publications(x), x -> l -> v
+create AbstractPage(x), PaperPresentation(x)
+link PaperPresentation(x) -> l -> v,
+     AbstractsPage() -> "Abstract" -> AbstractPage(x)
+{
+  where x -> "year" -> y
+  create YearPage(y)
+  link YearPage(y) -> "Paper" -> PaperPresentation(x),
+       RootPage() -> "Year" -> YearPage(y)
+  collect YearPages(YearPage(y))
+}
+"""
+
+
+@pytest.fixture
+def schema():
+    return SiteSchema.from_program(parse(FIG3_LIKE))
+
+
+class TestNodes:
+    def test_one_node_per_skolem_function(self, schema):
+        assert set(schema.functions) == {
+            "RootPage", "AbstractsPage", "AbstractPage", "PaperPresentation",
+            "YearPage",
+        }
+
+    def test_ns_present_when_variables_targeted(self, schema):
+        assert NS in schema.nodes  # the l -> v link targets NS
+
+
+class TestEdges:
+    def test_edge_per_link_expression(self, schema):
+        assert len(schema.edges) == 5
+
+    def test_edge_labels(self, schema):
+        labels = {(e.source, e.label, e.target) for e in schema.edges}
+        assert ("RootPage", "Abstract", "AbstractsPage") in labels
+        assert ("YearPage", "Paper", "PaperPresentation") in labels
+        assert ("PaperPresentation", "l", NS) in labels
+
+    def test_arc_variable_flag(self, schema):
+        arc_edges = [e for e in schema.edges if e.label_is_variable]
+        assert len(arc_edges) == 1
+        assert arc_edges[0].label == "l"
+
+    def test_nested_edge_carries_conjunction(self, schema):
+        edge = next(e for e in schema.edges if e.label == "Paper")
+        assert len(edge.query_names) == 2  # Q-outer and Q-nested
+
+    def test_top_level_create_only_edge_has_empty_guard(self, schema):
+        edge = next(e for e in schema.edges if e.label == "Abstract"
+                    and e.source == "RootPage")
+        assert edge.query_names == ()
+
+    def test_edge_args(self, schema):
+        edge = next(e for e in schema.edges if e.label == "Paper")
+        assert edge.source_args == ("y",)
+        assert edge.target_args == ("x",)
+
+    def test_display_label_format(self, schema):
+        edge = next(e for e in schema.edges if e.label == "Paper")
+        rendered = edge.display_label()
+        assert '"Paper"' in rendered and "[y]" in rendered and "[x]" in rendered
+
+
+class TestCreations:
+    def test_creation_guards(self, schema):
+        year_creations = schema.creations_of("YearPage")
+        assert len(year_creations) == 1
+        assert len(year_creations[0].query_names) == 2
+        root_creations = schema.creations_of("RootPage")
+        assert root_creations[0].query_names == ()
+
+    def test_creation_args(self, schema):
+        assert schema.creations_of("AbstractPage")[0].args == ("x",)
+
+
+class TestQueries:
+    def test_edges_from(self, schema):
+        assert {e.label for e in schema.edges_from("RootPage")} == {"Abstract", "Year"}
+
+    def test_edges_to(self, schema):
+        assert {e.source for e in schema.edges_to("PaperPresentation")} == {"YearPage"}
+
+    def test_reachable_functions(self, schema):
+        reachable = schema.reachable_functions("RootPage")
+        assert "PaperPresentation" in reachable
+        assert "AbstractPage" in reachable
+
+    def test_functions_of_class_prefers_collections(self, schema):
+        assert schema.functions_of_class("YearPages") == ["YearPage"]
+        assert schema.functions_of_class("RootPage") == ["RootPage"]
+        assert schema.functions_of_class("Nothing") == []
+
+
+class TestRoundTripAndDisplay:
+    def test_recover_link_expressions(self, schema):
+        recovered = schema.recover_link_expressions()
+        assert len(recovered) == 5
+        assert any('RootPage() -> "Year" -> YearPage(y)' in line for line in recovered)
+
+    def test_dot_output(self, schema):
+        dot = schema.to_dot()
+        assert dot.startswith("digraph")
+        assert '"YearPage" -> "PaperPresentation"' in dot
+        assert NS in dot
+
+    def test_homepage_query_schema(self):
+        schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+        assert "CategoryPage" in schema.functions
+        assert len(schema.edges) == 11

@@ -1,0 +1,327 @@
+"""Unit tests for the STRUQL lexer and parser."""
+
+import pytest
+
+from repro.errors import StruqlSemanticError, StruqlSyntaxError
+from repro.struql import (
+    AnyLabel,
+    CollectionCond,
+    ComparisonCond,
+    Concat,
+    Const,
+    EdgeCond,
+    LabelIs,
+    NotCond,
+    PathCond,
+    PredicateCond,
+    SkolemTerm,
+    Star,
+    Var,
+    parse,
+    parse_query,
+    register_label_predicate,
+)
+from repro.struql.lexer import tokenize
+
+
+class TestLexer:
+    def test_arrow(self):
+        kinds = [t.kind for t in tokenize("x -> y")]
+        assert kinds == ["ident", "arrow", "ident"]
+
+    def test_primed_identifier(self):
+        tokens = tokenize("q'")
+        assert tokens[0].text == "q'"
+
+    def test_string_with_escape(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].text == 'a"b'
+
+    def test_comments_stripped(self):
+        assert tokenize("x // comment\ny # another") == tokenize("x\ny")
+
+    def test_comparison_operators(self):
+        texts = [t.text for t in tokenize("a != b <= c >= d < e > f = g")]
+        assert "!=" in texts and "<=" in texts and ">=" in texts
+
+    def test_numbers(self):
+        tokens = tokenize("1998 4.5")
+        assert [t.kind for t in tokens] == ["number", "number"]
+
+    def test_position_tracking(self):
+        token = tokenize("  abc")[0]
+        assert token.line == 1 and token.column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(StruqlSyntaxError):
+            tokenize("x @ y")
+
+
+class TestConditions:
+    def test_collection(self):
+        query = parse_query("where Publications(x) create P(x)")
+        assert query.where == [CollectionCond("Publications", Var("x"))]
+
+    def test_quoted_collection_name(self):
+        query = parse_query('where "src.People"(x) create P(x)')
+        assert query.where[0].collection == "src.People"
+
+    def test_predicate_recognized(self):
+        query = parse_query("where Root(p), isImageFile(p) create N(p)")
+        assert isinstance(query.where[1], PredicateCond)
+
+    def test_single_edge_with_constant_label(self):
+        query = parse_query('where x -> "year" -> y create P(x)')
+        condition = query.where[0]
+        assert isinstance(condition, EdgeCond)
+        assert condition.label == "year"
+
+    def test_arc_variable(self):
+        query = parse_query("where x -> l -> y create P(x)")
+        condition = query.where[0]
+        assert isinstance(condition, EdgeCond)
+        assert condition.label == Var("l")
+
+    def test_star_is_path(self):
+        query = parse_query("where x -> * -> y create P(x)")
+        condition = query.where[0]
+        assert isinstance(condition, PathCond)
+        assert condition.path == Star(AnyLabel())
+
+    def test_concat_path(self):
+        query = parse_query('where x -> "a"."b" -> y create P(x)')
+        assert query.where[0].path == Concat((LabelIs("a"), LabelIs("b")))
+
+    def test_alternation_and_star_precedence(self):
+        query = parse_query('where x -> ("a"|"b")."c"* -> y create P(x)')
+        path = query.where[0].path
+        assert isinstance(path, Concat)
+        assert isinstance(path.parts[1], Star)
+
+    def test_true_is_any_label(self):
+        query = parse_query("where x -> true -> y create P(x)")
+        assert query.where[0].path == AnyLabel()
+
+    def test_registered_label_predicate_is_path(self):
+        unregister = register_label_predicate("isName", lambda l: l.startswith("n"))
+        try:
+            query = parse_query("where x -> isName -> y create P(x)")
+            assert isinstance(query.where[0], PathCond)
+        finally:
+            unregister()
+
+    def test_comparison_to_string(self):
+        query = parse_query('where x -> "y" -> y, y = "1998" create P(x)')
+        condition = query.where[1]
+        assert isinstance(condition, ComparisonCond)
+        assert condition.op == "="
+
+    def test_comparison_number_literal(self):
+        query = parse_query('where x -> "y" -> y, y < 5 create P(x)')
+        assert isinstance(query.where[1].right, Const)
+
+    def test_negation(self):
+        query = parse_query("where Root(p), not(isImageFile(p)) create N(p)")
+        assert isinstance(query.where[1], NotCond)
+
+    def test_negation_of_conjunction(self):
+        query = parse_query(
+            'where Root(p), not(p -> "a" -> q, isImageFile(q)) create N(p)'
+        )
+        assert len(query.where[1].inner) == 2
+
+    def test_primed_variables(self):
+        query = parse_query("where x -> l -> q' create N(q')")
+        assert query.where[0].target == Var("q'")
+
+
+class TestConstruction:
+    def test_create_terms(self):
+        query = parse_query("where Pubs(x) create RootPage(), AbstractPage(x)")
+        assert query.create == [
+            SkolemTerm("RootPage", ()),
+            SkolemTerm("AbstractPage", (Var("x"),)),
+        ]
+
+    def test_link_clause(self):
+        query = parse_query(
+            'where Pubs(x) create P(x) link P(x) -> "title" -> x'
+        )
+        link = query.link[0]
+        assert link.source == SkolemTerm("P", (Var("x"),))
+        assert link.label == "title"
+        assert link.target == Var("x")
+
+    def test_link_with_arc_variable_label(self):
+        query = parse_query("where Pubs(x), x -> l -> v create P(x) link P(x) -> l -> v")
+        assert query.link[0].label == Var("l")
+
+    def test_link_constant_target(self):
+        query = parse_query('where Pubs(x) create P(x) link P(x) -> "kind" -> "paper"')
+        assert isinstance(query.link[0].target, Const)
+
+    def test_collect_with_skolem(self):
+        query = parse_query("where Pubs(x) create P(x) collect Out(P(x))")
+        assert query.collect[0].collection == "Out"
+        assert query.collect[0].node == SkolemTerm("P", (Var("x"),))
+
+    def test_collect_with_variable(self):
+        query = parse_query("where Pubs(x) collect Out(x)")
+        assert query.collect[0].node == Var("x")
+
+    def test_nested_skolem_argument_rejected(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse_query("where Pubs(x) create F(G(x))")
+
+
+class TestBlocksAndPrograms:
+    def test_nested_block(self):
+        query = parse_query(
+            """
+            where Pubs(x) create P(x)
+            { where x -> "year" -> y create Y(y) link Y(y) -> "p" -> P(x) }
+            """
+        )
+        assert len(query.blocks) == 1
+        assert query.blocks[0].create == [SkolemTerm("Y", (Var("y"),))]
+
+    def test_deeply_nested(self):
+        query = parse_query(
+            """
+            where Pubs(x) create P(x)
+            { where x -> "a" -> a create A(a)
+              { where a -> "b" -> b create B(b) } }
+            """
+        )
+        assert query.blocks[0].blocks[0].create[0].function == "B"
+
+    def test_block_names_depth_first(self):
+        query = parse_query(
+            """
+            where Pubs(x) create P(x)
+            { where x -> "a" -> a create A(a) }
+            { where x -> "b" -> b create B(b) }
+            """
+        )
+        assert query.name == "Q1"
+        assert [b.name for b in query.blocks] == ["Q2", "Q3"]
+
+    def test_program_with_multiple_queries(self):
+        program = parse(
+            """
+            create Root()
+            where Pubs(x) create P(x) link Root() -> "p" -> P(x)
+            where Pubs(x), x -> "year" -> y create Y(y) link Y(y) -> "p" -> P(x)
+            """
+        )
+        assert len(program.queries) == 3
+
+    def test_out_of_order_clause_starts_new_query(self):
+        program = parse("create A() create B()")
+        assert len(program.queries) == 2
+
+    def test_line_count_skips_comments_and_blanks(self):
+        program = parse("// hi\n\ncreate A()\n")
+        assert program.line_count() == 1
+
+    def test_link_clause_count_includes_blocks(self):
+        query = parse_query(
+            """
+            where Pubs(x) create P(x) link P(x) -> "a" -> x
+            { where x -> "y" -> y create Y(y) link Y(y) -> "b" -> P(x), Y(y) -> "c" -> y }
+            """
+        )
+        assert query.link_clause_count() == 3
+
+    def test_skolem_functions_listing(self):
+        program = parse(
+            'where Pubs(x) create P(x) link P(x) -> "n" -> Q(x) collect C(R(x))'
+        )
+        assert program.skolem_functions() == ["P", "Q", "R"]
+
+
+class TestValidation:
+    def test_unbound_create_variable(self):
+        with pytest.raises(StruqlSemanticError):
+            parse("where Pubs(x) create P(y)")
+
+    def test_unbound_link_variable(self):
+        with pytest.raises(StruqlSemanticError):
+            parse('where Pubs(x) create P(x) link P(x) -> "a" -> z')
+
+    def test_nested_block_sees_outer_scope(self):
+        parse(
+            """
+            where Pubs(x) create P(x)
+            { where x -> "y" -> y link P(x) -> "year" -> y }
+            """
+        )
+
+    def test_unbound_in_nested_block(self):
+        with pytest.raises(StruqlSemanticError):
+            parse(
+                """
+                where Pubs(x) create P(x)
+                { where x -> "y" -> y link P(z) -> "year" -> y }
+                """
+            )
+
+
+class TestParserErrors:
+    def test_empty_text(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse("")
+
+    def test_garbage_start(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse("banana Pubs(x)")
+
+    def test_missing_arrow(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse('where x -> "a" y create P(x)')
+
+    def test_unclosed_block(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse("where Pubs(x) create P(x) { where x -> l -> v create Q(x)")
+
+    def test_parse_query_rejects_programs(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse_query("create A() create B()")
+
+    def test_edge_source_must_be_variable(self):
+        with pytest.raises(StruqlSyntaxError):
+            parse('where "lit" -> "a" -> y create P(y)')
+
+
+class TestRoundTrip:
+    def test_path_condition_round_trip(self):
+        text = 'where Roots(p), p -> ("a"|"b")."c"* -> q, p -> * -> r create N(p)'
+        query = parse_query(text)
+        assert parse_query(str(query)).where == query.where
+
+    def test_negation_round_trip(self):
+        text = 'where Roots(p), not(p -> "a" -> q, isImageFile(q)) create N(p)'
+        query = parse_query(text)
+        assert parse_query(str(query)).where == query.where
+
+    def test_comparison_round_trip(self):
+        text = 'where Roots(p), p -> "y" -> y, y >= 1995, y != "x" create N(p)'
+        query = parse_query(text)
+        assert parse_query(str(query)).where == query.where
+
+    def test_format_reparses(self):
+        text = """
+        where Publications(x), x -> l -> v, not(isImageFile(v))
+        create P(x)
+        link P(x) -> l -> v, P(x) -> "kind" -> "pub"
+        collect Out(P(x))
+        { where x -> "year" -> y create Y(y) link Y(y) -> "p" -> P(x) }
+        """
+        query = parse_query(text)
+        reparsed = parse_query(str(query))
+        assert reparsed.where == query.where
+        assert reparsed.create == query.create
+        assert reparsed.link == query.link
+        assert reparsed.collect == query.collect
+        assert len(reparsed.blocks) == len(query.blocks)
+        assert reparsed.blocks[0].link == query.blocks[0].link

@@ -1,0 +1,273 @@
+"""Unit tests for template rendering (repro.template.eval)."""
+
+import pytest
+
+from repro.errors import TemplateEvaluationError
+from repro.graph import (
+    Graph,
+    Oid,
+    html_file,
+    image_file,
+    integer,
+    postscript_file,
+    string,
+    text_file,
+    url,
+)
+from repro.template import Renderer, TemplateSet, parse_template
+
+
+@pytest.fixture
+def site():
+    graph = Graph()
+    page = graph.add_node(Oid("Page()"))
+    graph.add_edge(page, "title", string("Hello <World>"))
+    graph.add_edge(page, "year", integer(1998))
+    graph.add_edge(page, "author", string("Mary"))
+    graph.add_edge(page, "author", string("Dan"))
+    graph.add_edge(page, "home", url("http://example.org"))
+    graph.add_edge(page, "photo", image_file("me.gif"))
+    graph.add_edge(page, "paper", postscript_file("p.ps"))
+    graph.add_edge(page, "body", text_file("Plain body text"))
+    graph.add_edge(page, "widget", html_file("<b>bold</b>"))
+    child = graph.add_node(Oid("Child()"))
+    graph.add_edge(child, "title", string("The Child"))
+    graph.add_edge(page, "child", child)
+    graph.add_edge(page, "status", string("public"))
+    return graph, page, child
+
+
+def render(graph, obj, text, registry=None):
+    renderer = Renderer(graph, registry=registry)
+    return renderer.render(parse_template(text), obj)
+
+
+class TestSfmtAtoms:
+    def test_string_escaped(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT title>") == "Hello &lt;World&gt;"
+
+    def test_integer(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT year>") == "1998"
+
+    def test_url_becomes_anchor(self, site):
+        graph, page, _ = site
+        out = render(graph, page, "<SFMT home>")
+        assert out == '<a href="http://example.org">http://example.org</a>'
+
+    def test_image(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT photo>") == '<img src="me.gif" alt="me.gif">'
+
+    def test_postscript(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT paper>") == '<a href="p.ps">[PostScript]</a>'
+
+    def test_text_file_renders_payload(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT body>") == "Plain body text"
+
+    def test_html_file_link_by_default(self, site):
+        graph, page, _ = site
+        assert "[HTML]" in render(graph, page, "<SFMT widget>")
+
+    def test_html_file_raw_when_embedded(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT widget EMBED>") == "<b>bold</b>"
+
+    def test_link_directive_on_string(self, site):
+        graph, page, _ = site
+        out = render(graph, page, "<SFMT status LINK>")
+        assert out == '<a href="public">public</a>'
+
+    def test_missing_attribute_is_empty(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT nothing>") == ""
+
+    def test_first_value_without_enum(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT author>") == "Mary"
+
+
+class TestSfmtEnumeration:
+    def test_enum_with_delim(self, site):
+        graph, page, _ = site
+        assert render(graph, page, '<SFMT author ENUM DELIM="; ">') == "Mary; Dan"
+
+    def test_enum_default_delim(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT author ENUM>") == "Mary, Dan"
+
+    def test_ul(self, site):
+        graph, page, _ = site
+        out = render(graph, page, "<SFMT author UL>")
+        assert out == "<ul><li>Mary</li><li>Dan</li></ul>"
+
+    def test_ol(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT author OL>").startswith("<ol>")
+
+    def test_order_ascending(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT author ENUM ORDER=ascend>") == "Dan, Mary"
+
+    def test_order_descending(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFMT author ENUM ORDER=descend>") == "Mary, Dan"
+
+    def test_order_with_key_over_objects(self):
+        graph = Graph()
+        root = graph.add_node(Oid("Root()"))
+        for year in (1997, 1995, 1998):
+            child = graph.add_node(Oid(f"Y({year})"))
+            graph.add_edge(child, "Year", integer(year))
+            graph.add_edge(root, "page", child)
+        out = Renderer(graph).render(
+            parse_template("<SFMT page ENUM ORDER=ascend KEY=Year>"), root
+        )
+        # anchor text prefers the Year naming attribute over the oid name
+        assert out == "1995, 1997, 1998"
+
+    def test_numeric_key_sorting_not_lexicographic(self):
+        graph = Graph()
+        root = graph.add_node(Oid("Root()"))
+        for rank in (2, 10, 1):
+            child = graph.add_node(Oid(f"R{rank}"))
+            graph.add_edge(child, "rank", integer(rank))
+            graph.add_edge(root, "item", child)
+        out = Renderer(graph).render(
+            parse_template("<SFMT item ENUM ORDER=ascend KEY=rank>"), root
+        )
+        assert out == "R1, R2, R10"
+
+
+class TestObjects:
+    def test_object_without_registry_renders_anchor_text(self, site):
+        graph, page, child = site
+        assert render(graph, page, "<SFMT child>") == "The Child"
+
+    def test_object_with_registry_renders_link(self, site):
+        graph, page, child = site
+        templates = TemplateSet()
+        templates.add("child", "<h1><SFMT title></h1>")
+        templates.for_object("Child()", "child")
+
+        class Registry:
+            def href_for(self, oid):
+                return "child.html" if oid == child else None
+
+            def template_for(self, oid):
+                return templates.resolve(graph, oid)
+
+        out = render(graph, page, "<SFMT child>", registry=Registry())
+        assert out == '<a href="child.html">The Child</a>'
+
+    def test_embed_renders_inline(self, site):
+        graph, page, child = site
+        templates = TemplateSet()
+        templates.add("child", "<h1><SFMT title></h1>")
+        templates.for_object("Child()", "child")
+
+        class Registry:
+            def href_for(self, oid):
+                return None
+
+            def template_for(self, oid):
+                return templates.resolve(graph, oid)
+
+        out = render(graph, page, "<SFMT child EMBED>", registry=Registry())
+        assert out == "<h1>The Child</h1>"
+
+    def test_embed_cycle_degrades_gracefully(self):
+        graph = Graph()
+        a = graph.add_node(Oid("A()"))
+        b = graph.add_node(Oid("B()"))
+        graph.add_edge(a, "other", b)
+        graph.add_edge(b, "other", a)
+        templates = TemplateSet()
+        templates.add("t", "[<SFMT other EMBED>]")
+        templates.for_object("A()", "t")
+        templates.for_object("B()", "t")
+
+        class Registry:
+            def href_for(self, oid):
+                return None
+
+            def template_for(self, oid):
+                return templates.resolve(graph, oid)
+
+        out = render(graph, a, "<SFMT other EMBED>", registry=Registry())
+        assert out.count("[") < 20  # bounded, no infinite recursion
+
+    def test_anchor_text_prefers_title(self, site):
+        graph, page, child = site
+        assert Renderer(graph).anchor_text(child) == "The Child"
+
+    def test_anchor_text_falls_back_to_oid(self):
+        graph = Graph()
+        bare = graph.add_node(Oid("Bare()"))
+        assert Renderer(graph).anchor_text(bare) == "Bare()"
+
+
+class TestSif:
+    def test_existence_true(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SIF title>y<SELSE>n</SIF>") == "y"
+
+    def test_existence_false(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SIF nothing>y<SELSE>n</SIF>") == "n"
+
+    def test_equality_comparison(self, site):
+        graph, page, _ = site
+        assert render(graph, page, '<SIF status = "public">open</SIF>') == "open"
+        assert render(graph, page, '<SIF status = "secret">x</SIF>') == ""
+
+    def test_inequality(self, site):
+        graph, page, _ = site
+        assert render(graph, page, '<SIF status != "secret">ok</SIF>') == "ok"
+
+    def test_comparison_coerces(self, site):
+        graph, page, _ = site
+        assert render(graph, page, '<SIF year = "1998">match</SIF>') == "match"
+
+
+class TestSfor:
+    def test_iterates_values(self, site):
+        graph, page, _ = site
+        out = render(graph, page, '<SFOR a IN author DELIM=", ">[<SFMT @a>]</SFOR>')
+        assert out == "[Mary], [Dan]"
+
+    def test_loop_variable_path(self, site):
+        graph, page, _ = site
+        out = render(graph, page, "<SFOR c IN child><SFMT @c.title></SFOR>")
+        assert out == "The Child"
+
+    def test_paper_equivalence_enum_vs_sfor(self, site):
+        """The paper: <SFMT author ENUM DELIM=","> is shorthand for the
+        explicit SFOR form."""
+        graph, page, _ = site
+        shorthand = render(graph, page, '<SFMT author ENUM DELIM=",">')
+        explicit = render(graph, page, '<SFOR a IN author DELIM=","><SFMT @a></SFOR>')
+        assert shorthand == explicit
+
+    def test_paper_equivalence_ul(self, site):
+        """<SFMT x UL> is shorthand for the UL/SFOR/LI form."""
+        graph, page, _ = site
+        shorthand = render(graph, page, "<SFMT author UL>")
+        explicit = render(
+            graph, page, "<UL><SFOR a IN author><LI><SFMT @a></LI></SFOR></UL>"
+        )
+        assert shorthand == explicit.replace("<UL>", "<ul>").replace(
+            "</UL>", "</ul>"
+        ).replace("<LI>", "<li>").replace("</LI>", "</li>")
+
+    def test_unbound_loop_variable_raises(self, site):
+        graph, page, _ = site
+        with pytest.raises(TemplateEvaluationError):
+            render(graph, page, "<SFMT @ghost>")
+
+    def test_empty_loop(self, site):
+        graph, page, _ = site
+        assert render(graph, page, "<SFOR a IN nothing>x</SFOR>") == ""

@@ -1,0 +1,201 @@
+"""Unit tests for the HTML-template parser."""
+
+import pytest
+
+from repro.errors import TemplateSyntaxError
+from repro.template import (
+    AttrExpr,
+    Conditional,
+    Format,
+    Literal,
+    Loop,
+    parse_attr_expr,
+    parse_template,
+)
+
+
+class TestLiterals:
+    def test_plain_html_passthrough(self):
+        template = parse_template("<html><body>hi</body></html>")
+        assert template.nodes == [Literal("<html><body>hi</body></html>")]
+
+    def test_mixed_literals_and_tags(self):
+        template = parse_template("a<SFMT title>b")
+        assert [type(n).__name__ for n in template.nodes] == [
+            "Literal", "Format", "Literal",
+        ]
+
+    def test_source_lines(self):
+        template = parse_template("line1\n\nline3\n")
+        assert template.source_lines == 2
+
+
+class TestAttrExpr:
+    def test_single(self):
+        assert parse_attr_expr("Paper") == AttrExpr(("Paper",))
+
+    def test_dotted(self):
+        assert parse_attr_expr("a.b.c") == AttrExpr(("a", "b", "c"))
+
+    def test_loop_variable(self):
+        assert parse_attr_expr("@a") == AttrExpr((), var="a")
+
+    def test_loop_variable_with_path(self):
+        assert parse_attr_expr("@a.title") == AttrExpr(("title",), var="a")
+
+    def test_quoted_segment(self):
+        assert parse_attr_expr('"HTML-template"') == AttrExpr(("HTML-template",))
+
+    def test_mixed_quoted_and_plain(self):
+        assert parse_attr_expr('a."x y".b') == AttrExpr(("a", "x y", "b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_attr_expr("")
+
+    def test_bad_punctuation(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_attr_expr("a..b")
+
+
+class TestSfmt:
+    def test_plain(self):
+        (node,) = parse_template("<SFMT title>").nodes
+        assert isinstance(node, Format)
+        assert node.expr == AttrExpr(("title",))
+        assert not node.directives.embed
+
+    def test_case_insensitive_tag(self):
+        (node,) = parse_template("<sfmt title>").nodes
+        assert isinstance(node, Format)
+
+    def test_embed(self):
+        (node,) = parse_template("<SFMT Abstract EMBED>").nodes
+        assert node.directives.embed
+
+    def test_enum_delim(self):
+        (node,) = parse_template('<SFMT author ENUM DELIM=", ">').nodes
+        assert node.directives.enum
+        assert node.directives.delim == ", "
+
+    def test_delim_with_angle_brackets(self):
+        (node,) = parse_template('<SFMT author ENUM DELIM="<hr>">').nodes
+        assert node.directives.delim == "<hr>"
+
+    def test_ul(self):
+        (node,) = parse_template("<SFMT Abstract EMBED UL>").nodes
+        assert node.directives.list_style == "ul"
+        assert node.directives.enumerates
+
+    def test_ol(self):
+        (node,) = parse_template("<SFMT step OL>").nodes
+        assert node.directives.list_style == "ol"
+
+    def test_order_and_key(self):
+        (node,) = parse_template("<SFMT YearPage UL ORDER=ascend KEY=Year>").nodes
+        assert node.directives.order == "ascend"
+        assert node.directives.key == "Year"
+
+    def test_order_descend(self):
+        (node,) = parse_template("<SFMT x ORDER=descend>").nodes
+        assert node.directives.order == "descend"
+
+    def test_bad_order_value(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFMT x ORDER=sideways>")
+
+    def test_unknown_directive(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFMT x BLINK>")
+
+    def test_missing_expression(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFMT >")
+
+    def test_unterminated_tag(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFMT title")
+
+
+class TestSif:
+    def test_existence(self):
+        (node,) = parse_template("<SIF abstract>yes</SIF>").nodes
+        assert isinstance(node, Conditional)
+        assert node.op == ""
+        assert node.then_nodes == (Literal("yes"),)
+        assert node.else_nodes == ()
+
+    def test_else_branch(self):
+        (node,) = parse_template("<SIF a>t<SELSE>e</SIF>").nodes
+        assert node.then_nodes == (Literal("t"),)
+        assert node.else_nodes == (Literal("e"),)
+
+    def test_comparison(self):
+        (node,) = parse_template('<SIF status = "public">x</SIF>').nodes
+        assert node.op == "=" and node.literal == "public"
+
+    def test_negative_comparison(self):
+        (node,) = parse_template('<SIF status != "secret">x</SIF>').nodes
+        assert node.op == "!="
+
+    def test_nested_sif(self):
+        (node,) = parse_template("<SIF a><SIF b>x</SIF></SIF>").nodes
+        assert isinstance(node.then_nodes[0], Conditional)
+
+    def test_unclosed(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SIF a>dangling")
+
+    def test_bad_comparison(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SIF a = unquoted>x</SIF>")
+
+
+class TestSfor:
+    def test_basic(self):
+        (node,) = parse_template("<SFOR a IN author>x</SFOR>").nodes
+        assert isinstance(node, Loop)
+        assert node.var == "a"
+        assert node.expr == AttrExpr(("author",))
+
+    def test_delim(self):
+        (node,) = parse_template('<SFOR a IN author DELIM=",">x</SFOR>').nodes
+        assert node.delim == ","
+
+    def test_body_with_var_reference(self):
+        (node,) = parse_template("<SFOR a IN author><SFMT @a EMBED></SFOR>").nodes
+        inner = node.body[0]
+        assert isinstance(inner, Format)
+        assert inner.expr.var == "a"
+
+    def test_case_insensitive_in(self):
+        (node,) = parse_template("<SFOR a in author>x</SFOR>").nodes
+        assert node.var == "a"
+
+    def test_missing_in(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFOR a author>x</SFOR>")
+
+    def test_unclosed(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("<SFOR a IN author>x")
+
+    def test_nested_loops(self):
+        (node,) = parse_template(
+            "<SFOR a IN author><SFOR b IN @a.name>x</SFOR></SFOR>"
+        ).nodes
+        assert isinstance(node.body[0], Loop)
+
+
+class TestErrorPositions:
+    def test_line_number_reported(self):
+        try:
+            parse_template("line1\nline2\n<SFMT x BLINK>")
+        except TemplateSyntaxError as error:
+            assert error.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected TemplateSyntaxError")
+
+    def test_unexpected_closer(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("text</SIF>")

@@ -1,0 +1,192 @@
+"""Unit tests for the atomic-value layer (repro.graph.values)."""
+
+import pytest
+
+from repro.graph import (
+    Atom,
+    AtomType,
+    atoms_equal,
+    boolean,
+    compare_atoms,
+    from_python,
+    html_file,
+    image_file,
+    integer,
+    parse_typed_value,
+    postscript_file,
+    real,
+    string,
+    text_file,
+    type_predicate,
+    type_predicate_names,
+    url,
+)
+
+
+class TestConstructors:
+    def test_string(self):
+        atom = string("hello")
+        assert atom.type is AtomType.STRING
+        assert atom.value == "hello"
+
+    def test_integer_coerces_to_int(self):
+        assert integer(True).value == 1
+
+    def test_real(self):
+        assert real(2).value == 2.0
+        assert isinstance(real(2).value, float)
+
+    def test_boolean(self):
+        assert boolean(1).value is True
+
+    def test_url(self):
+        assert url("http://x").type is AtomType.URL
+
+    def test_file_flavours(self):
+        assert text_file("a.txt").type is AtomType.TEXT_FILE
+        assert image_file("a.gif").type is AtomType.IMAGE_FILE
+        assert postscript_file("a.ps").type is AtomType.POSTSCRIPT_FILE
+        assert html_file("a.html").type is AtomType.HTML_FILE
+
+    def test_is_file(self):
+        assert image_file("a.gif").is_file
+        assert not string("a").is_file
+        assert not integer(1).is_file
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Atom(AtomType.STRING, [1, 2])  # type: ignore[arg-type]
+
+
+class TestFromPython:
+    def test_atom_passthrough(self):
+        atom = string("x")
+        assert from_python(atom) is atom
+
+    def test_bool_before_int(self):
+        assert from_python(True).type is AtomType.BOOLEAN
+
+    def test_int(self):
+        assert from_python(7).type is AtomType.INTEGER
+
+    def test_float(self):
+        assert from_python(7.5).type is AtomType.FLOAT
+
+    def test_str(self):
+        assert from_python("x").type is AtomType.STRING
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            from_python(object())
+
+
+class TestRendering:
+    def test_as_string_boolean(self):
+        assert boolean(True).as_string() == "true"
+        assert boolean(False).as_string() == "false"
+
+    def test_as_string_number(self):
+        assert integer(1998).as_string() == "1998"
+
+    def test_as_number_from_string(self):
+        assert string("3.5").as_number() == 3.5
+
+    def test_as_number_non_numeric(self):
+        assert string("hello").as_number() is None
+
+    def test_str_dunder(self):
+        assert str(string("x")) == "x"
+
+
+class TestCoercingEquality:
+    def test_same_type(self):
+        assert atoms_equal(string("a"), string("a"))
+        assert not atoms_equal(string("a"), string("b"))
+
+    def test_integer_vs_string(self):
+        assert atoms_equal(integer(1998), string("1998"))
+        assert atoms_equal(string("1998"), integer(1998))
+
+    def test_integer_vs_float(self):
+        assert atoms_equal(integer(2), real(2.0))
+
+    def test_string_vs_url_same_text(self):
+        assert atoms_equal(string("http://x"), url("http://x"))
+
+    def test_not_equal_across_values(self):
+        assert not atoms_equal(integer(1998), string("1997"))
+
+    def test_boolean_coerces_via_rendering(self):
+        assert atoms_equal(boolean(True), string("true"))
+
+
+class TestCompare:
+    def test_numeric_ordering(self):
+        assert compare_atoms(integer(2), integer(10)) < 0
+
+    def test_numeric_ordering_across_types(self):
+        assert compare_atoms(string("2"), integer(10)) < 0
+
+    def test_lexicographic_when_not_numeric(self):
+        # "2" < "10" numerically but "10" < "2" lexicographically;
+        # a non-numeric operand forces lexicographic mode
+        assert compare_atoms(string("10x"), string("2x")) < 0
+
+    def test_equal(self):
+        assert compare_atoms(string("a"), string("a")) == 0
+
+
+class TestTypePredicates:
+    def test_registry_names(self):
+        names = type_predicate_names()
+        assert "isImageFile" in names
+        assert "isPostScript" in names
+
+    def test_image_predicate(self):
+        predicate = type_predicate("isImageFile")
+        assert predicate(image_file("a.gif"))
+        assert not predicate(string("a.gif"))
+
+    def test_is_number(self):
+        predicate = type_predicate("isNumber")
+        assert predicate(string("42"))
+        assert not predicate(string("forty-two"))
+
+    def test_unknown_predicate(self):
+        assert type_predicate("isWidget") is None
+
+
+class TestParseTypedValue:
+    def test_integer(self):
+        assert parse_typed_value("integer", "1998") == integer(1998)
+
+    def test_float(self):
+        assert parse_typed_value("float", "1.5") == real(1.5)
+
+    def test_boolean(self):
+        assert parse_typed_value("boolean", "true") == boolean(True)
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_typed_value("boolean", "yes")
+
+    def test_file_types_keep_payload(self):
+        assert parse_typed_value("image", "a.gif") == image_file("a.gif")
+        assert parse_typed_value("text", "body") == text_file("body")
+
+    def test_unknown_type_name(self):
+        with pytest.raises(ValueError):
+            parse_typed_value("widget", "x")
+
+    def test_bad_integer_payload(self):
+        with pytest.raises(ValueError):
+            parse_typed_value("integer", "not-a-number")
+
+
+class TestHashability:
+    def test_atoms_are_hashable_and_usable_in_sets(self):
+        atoms = {string("a"), string("a"), integer(1)}
+        assert len(atoms) == 2
+
+    def test_distinct_types_distinct_hash_keys(self):
+        assert len({string("1998"), integer(1998)}) == 2

@@ -1,0 +1,310 @@
+"""Unit tests for the source wrappers (repro.wrappers)."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.graph import AtomType, Oid
+from repro.wrappers import (
+    BibtexWrapper,
+    DdlWrapper,
+    ForeignKey,
+    HtmlSiteWrapper,
+    RelationalWrapper,
+    StructuredFileWrapper,
+    Table,
+    infer_atom,
+    parse_bibtex,
+)
+
+BIBTEX = """
+@string{sigmod = "Proceedings of SIGMOD"}
+
+@article{pub1,
+  title = {A {Query} Language},
+  author = {Mary Fernandez and Dan Suciu},
+  journal = {TODS},
+  year = 1997,
+  month = sep,
+  abstract = {Long text here.},
+  postscript = {p/pub1.ps},
+  url = {http://x.org/pub1}
+}
+
+@inproceedings{pub2,
+  title = "Catching the Boat",
+  author = {Mary Fernandez},
+  booktitle = sigmod # ", 1998",
+  year = {1998}
+}
+
+@comment{ignored stuff}
+"""
+
+
+class TestBibtexParser:
+    def test_entry_count(self):
+        entries = parse_bibtex(BIBTEX)
+        assert len(entries) == 2
+
+    def test_keys_and_types(self):
+        entries = parse_bibtex(BIBTEX)
+        assert entries[0][0] == "article" and entries[0][1] == "pub1"
+        assert entries[1][0] == "inproceedings"
+
+    def test_brace_stripping(self):
+        fields = dict(parse_bibtex(BIBTEX)[0][2])
+        assert fields["title"] == "A Query Language"
+
+    def test_macro_expansion_and_concat(self):
+        fields = dict(parse_bibtex(BIBTEX)[1][2])
+        assert fields["booktitle"] == "Proceedings of SIGMOD, 1998"
+
+    def test_month_macro(self):
+        fields = dict(parse_bibtex(BIBTEX)[0][2])
+        assert fields["month"] == "Sep"
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(WrapperError):
+            parse_bibtex("@article{x, title = {unclosed }")
+
+
+class TestBibtexWrapper:
+    def test_collection(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        assert graph.collection_cardinality("Publications") == 2
+
+    def test_key_becomes_oid(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        assert graph.has_node(Oid("pub1"))
+
+    def test_field_typing(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        pub1 = Oid("pub1")
+        assert graph.attribute(pub1, "year").type is AtomType.INTEGER
+        assert graph.attribute(pub1, "abstract").type is AtomType.TEXT_FILE
+        assert graph.attribute(pub1, "postscript").type is AtomType.POSTSCRIPT_FILE
+        assert graph.attribute(pub1, "url").type is AtomType.URL
+
+    def test_authors_split(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        authors = graph.targets(Oid("pub1"), "author")
+        assert [str(a) for a in authors] == ["Mary Fernandez", "Dan Suciu"]
+
+    def test_irregular_attributes(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        assert graph.attribute(Oid("pub1"), "journal") is not None
+        assert graph.attribute(Oid("pub2"), "journal") is None
+        assert graph.attribute(Oid("pub2"), "booktitle") is not None
+
+    def test_ordered_authors(self):
+        graph = BibtexWrapper(BIBTEX, ordered_authors=True).wrap()
+        authors = graph.targets(Oid("pub1"), "author")
+        assert all(isinstance(a, Oid) for a in authors)
+        orders = [graph.attribute(a, "order").value for a in authors]
+        assert orders == [1, 2]
+
+    def test_entry_type_attribute(self):
+        graph = BibtexWrapper(BIBTEX).wrap()
+        assert str(graph.attribute(Oid("pub1"), "type")) == "article"
+
+
+class TestRelationalWrapper:
+    def _tables(self):
+        people = Table(
+            "people",
+            ["login", "name", "dept", "age"],
+            [
+                ["mff", "Mary", "d1", "35"],
+                ["suciu", "Dan", "d1", ""],
+                ["alon", "Alon", "d2", "33"],
+            ],
+        )
+        depts = Table("depts", ["id", "title"], [["d1", "DB"], ["d2", "Web"]])
+        return people, depts
+
+    def test_rows_become_objects(self):
+        people, _ = self._tables()
+        graph = RelationalWrapper([people]).wrap()
+        assert graph.collection_cardinality("people") == 3
+
+    def test_key_column_names_oids(self):
+        people, _ = self._tables()
+        graph = RelationalWrapper([people], key_columns={"people": "login"}).wrap()
+        assert graph.has_node(Oid("people:mff"))
+
+    def test_empty_cell_is_missing_attribute(self):
+        people, _ = self._tables()
+        graph = RelationalWrapper([people], key_columns={"people": "login"}).wrap()
+        assert graph.attribute(Oid("people:suciu"), "age") is None
+
+    def test_type_inference(self):
+        people, _ = self._tables()
+        graph = RelationalWrapper([people], key_columns={"people": "login"}).wrap()
+        assert graph.attribute(Oid("people:mff"), "age").type is AtomType.INTEGER
+
+    def test_pinned_column_type(self):
+        people, _ = self._tables()
+        graph = RelationalWrapper(
+            [people],
+            key_columns={"people": "login"},
+            column_types={"people.age": "string"},
+        ).wrap()
+        assert graph.attribute(Oid("people:mff"), "age").type is AtomType.STRING
+
+    def test_foreign_keys(self):
+        people, depts = self._tables()
+        graph = RelationalWrapper(
+            [people, depts],
+            key_columns={"people": "login", "depts": "id"},
+            foreign_keys={
+                "people": [ForeignKey("dept", "depts", "id", "department")]
+            },
+        ).wrap()
+        assert graph.attribute(Oid("people:mff"), "department") == Oid("depts:d1")
+        assert graph.attribute(Oid("people:mff"), "dept") is None  # replaced
+
+    def test_dangling_foreign_key_raises(self):
+        people, _ = self._tables()
+        with pytest.raises(WrapperError):
+            RelationalWrapper(
+                [people],
+                key_columns={"people": "login"},
+                foreign_keys={"people": [ForeignKey("dept", "depts", "id")]},
+            ).wrap()
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(WrapperError):
+            Table("t", ["a", "b"], [["only-one"]])
+
+    def test_csv_parsing(self):
+        table = Table.from_csv("t", "a,b\n1,x\n2,y\n")
+        assert table.columns == ["a", "b"]
+        assert len(table.rows) == 2
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(WrapperError):
+            Table.from_csv("t", "")
+
+    def test_infer_atom_kinds(self):
+        assert infer_atom("12").type is AtomType.INTEGER
+        assert infer_atom("1.5").type is AtomType.FLOAT
+        assert infer_atom("true").type is AtomType.BOOLEAN
+        assert infer_atom("http://x").type is AtomType.URL
+        assert infer_atom("plain").type is AtomType.STRING
+
+
+STRUCTURED = """
+%collection Projects
+%type budget integer
+%id name
+
+name: strudel
+title: The Strudel Project
+member: mff
+member: suciu
+budget: 100
+
+# a comment
+name: tsimmis
+title: TSIMMIS
+synopsis: Mediation with
+  a continued line.
+"""
+
+
+class TestStructuredWrapper:
+    def test_records_become_objects(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        assert graph.collection_cardinality("Projects") == 2
+
+    def test_id_directive(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        assert graph.has_node(Oid("Projects:strudel"))
+
+    def test_multivalued_keys(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        members = graph.targets(Oid("Projects:strudel"), "member")
+        assert [str(m) for m in members] == ["mff", "suciu"]
+
+    def test_type_directive(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        assert graph.attribute(Oid("Projects:strudel"), "budget").value == 100
+
+    def test_continuation_lines(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        synopsis = graph.attribute(Oid("Projects:tsimmis"), "synopsis")
+        assert str(synopsis) == "Mediation with a continued line."
+
+    def test_missing_key_is_missing_attribute(self):
+        graph = StructuredFileWrapper(STRUCTURED).wrap()
+        assert graph.attribute(Oid("Projects:tsimmis"), "budget") is None
+
+    def test_bad_directive(self):
+        with pytest.raises(WrapperError):
+            StructuredFileWrapper("%bogus\nname: x").wrap()
+
+    def test_missing_colon(self):
+        with pytest.raises(WrapperError):
+            StructuredFileWrapper("just some words").wrap()
+
+    def test_orphan_continuation(self):
+        with pytest.raises(WrapperError):
+            StructuredFileWrapper("  indented first line").wrap()
+
+
+HTML_PAGES = {
+    "index.html": """<html><head><title>Home</title>
+<meta name="category" content="root"></head>
+<body><h1>Welcome</h1><p>Intro text.</p>
+<a href="sub/page.html">subpage</a>
+<a href="http://elsewhere.org">external</a>
+<img src="logo.gif"></body></html>""",
+    "sub/page.html": """<html><head><title>Sub</title></head>
+<body><h2>Section</h2><p>Body.</p>
+<a href="../index.html">home</a></body></html>""",
+}
+
+
+class TestHtmlWrapper:
+    def test_pages_become_objects(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        assert graph.collection_cardinality("Pages") == 2
+
+    def test_title_and_headings(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        index = Oid("page:index.html")
+        assert str(graph.attribute(index, "title")) == "Home"
+        assert str(graph.attribute(index, "heading")) == "Welcome"
+
+    def test_internal_links_become_edges(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        index = Oid("page:index.html")
+        sub = Oid("page:sub/page.html")
+        assert graph.attribute(index, "linksTo") == sub
+        assert graph.attribute(sub, "linksTo") == index  # relative ../ resolved
+
+    def test_external_links_become_urls(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        href = graph.attribute(Oid("page:index.html"), "href")
+        assert href.type is AtomType.URL
+
+    def test_images(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        image = graph.attribute(Oid("page:index.html"), "image")
+        assert image.type is AtomType.IMAGE_FILE
+
+    def test_meta_tags(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        meta = graph.attribute(Oid("page:index.html"), "meta-category")
+        assert str(meta) == "root"
+
+    def test_paragraph_text(self):
+        graph = HtmlSiteWrapper(HTML_PAGES).wrap()
+        text = graph.attribute(Oid("page:index.html"), "text")
+        assert text.type is AtomType.TEXT_FILE
+
+
+class TestDdlWrapper:
+    def test_wrap(self):
+        graph = DdlWrapper('object a { name: "x" }').wrap()
+        assert graph.has_node(Oid("a"))

@@ -1,0 +1,86 @@
+"""Unit tests for the XML wrapper (repro.wrappers.xmlfiles)."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.graph import AtomType, Oid
+from repro.wrappers import XmlWrapper
+
+XML = """
+<bibliography>
+  <pub id="p1" lang="en">
+    <title>Strudel</title>
+    <year>1998</year>
+    <author><name>Mary</name><order>1</order></author>
+    <author><name>Dan</name><order>2</order></author>
+  </pub>
+  <pub id="p2">
+    <title>WebOQL</title>
+    <note>   </note>
+  </pub>
+  <venue id="v1"><name>SIGMOD</name></venue>
+</bibliography>
+"""
+
+
+class TestXmlWrapper:
+    def test_collections_from_root_children(self):
+        graph = XmlWrapper(XML).wrap()
+        assert graph.collection_cardinality("pub") == 2
+        assert graph.collection_cardinality("venue") == 1
+
+    def test_explicit_collection_tags(self):
+        graph = XmlWrapper(XML, collection_tags=["pub"]).wrap()
+        assert graph.collection_cardinality("pub") == 2
+        assert not graph.has_collection("venue")
+
+    def test_id_attribute_names_oids(self):
+        graph = XmlWrapper(XML).wrap()
+        assert graph.has_node(Oid("pub:p1"))
+        assert graph.has_node(Oid("venue:v1"))
+
+    def test_xml_attributes_become_edges(self):
+        graph = XmlWrapper(XML).wrap()
+        assert str(graph.attribute(Oid("pub:p1"), "lang")) == "en"
+
+    def test_leaf_elements_flattened_with_typing(self):
+        graph = XmlWrapper(XML).wrap()
+        year = graph.attribute(Oid("pub:p1"), "year")
+        assert year.type is AtomType.INTEGER and year.value == 1998
+        assert str(graph.attribute(Oid("pub:p1"), "title")) == "Strudel"
+
+    def test_structured_children_become_nodes(self):
+        graph = XmlWrapper(XML).wrap()
+        authors = graph.targets(Oid("pub:p1"), "author")
+        assert len(authors) == 2
+        assert all(isinstance(a, Oid) for a in authors)
+        orders = [graph.attribute(a, "order").value for a in authors]
+        assert orders == [1, 2]
+
+    def test_irregularity_preserved(self):
+        graph = XmlWrapper(XML).wrap()
+        assert graph.attribute(Oid("pub:p2"), "year") is None
+        assert graph.attribute(Oid("pub:p1"), "note") is None
+
+    def test_blank_text_ignored(self):
+        graph = XmlWrapper(XML).wrap()
+        # <note>   </note> is a leaf with blank text: an empty-string atom
+        note = graph.attribute(Oid("pub:p2"), "note")
+        assert str(note) == ""
+
+    def test_anonymous_elements_get_fresh_oids(self):
+        graph = XmlWrapper("<r><a><b>x</b></a><a><b>y</b></a></r>").wrap()
+        assert graph.collection_cardinality("a") == 2
+
+    def test_malformed_xml(self):
+        with pytest.raises(WrapperError):
+            XmlWrapper("<open>").wrap()
+
+    def test_queryable_through_struql(self):
+        from repro.struql import query_bindings
+
+        graph = XmlWrapper(XML).wrap()
+        rows = query_bindings(
+            'where pub(p), p -> "year" -> y, y = "1998"', graph
+        )
+        assert len(rows) == 1
