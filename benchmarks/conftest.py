@@ -8,12 +8,23 @@ tables inline:
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
 import os
 from typing import Dict, List, Sequence
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store_true",
+        default=False,
+        help="also write BENCH_<name>.json machine-readable summaries "
+             "under benchmarks/out/",
+    )
 
 
 def format_table(rows: Sequence[Dict[str, object]]) -> str:
@@ -50,3 +61,22 @@ def report():
             handle.write(block.lstrip("\n"))
 
     return _report
+
+
+@pytest.fixture
+def json_report(request):
+    """json_report(name, payload) -> writes benchmarks/out/BENCH_<name>.json
+    when ``--bench-json`` is on (returns the path, else None)."""
+    enabled = request.config.getoption("--bench-json")
+
+    def _write(name: str, payload: Dict[str, object]):
+        if not enabled:
+            return None
+        os.makedirs(OUT_DIR, exist_ok=True)
+        path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _write

@@ -177,6 +177,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"{key}: {value}")
     for collection in graph.collection_names():
         print(f"collection {collection}: {graph.collection_cardinality(collection)}")
+    print(f"epoch: {graph.epoch}")
+    if args.query:
+        from .struql import Metrics, QueryEngine, parse as parse_struql
+
+        text = _read(args.query) if os.path.exists(args.query) else args.query
+        conditions = parse_struql(text).queries[0].where
+        engine = QueryEngine(graph)
+        for run in ("cold", "warm"):
+            engine.metrics = Metrics()
+            engine.bindings(conditions)
+            metrics = engine.metrics
+            print(
+                f"{run}: plan_cache_hits={metrics.plan_cache_hits} "
+                f"plan_cache_misses={metrics.plan_cache_misses} "
+                f"stats_snapshots={metrics.stats_snapshots} "
+                f"conditions_evaluated={metrics.conditions_evaluated}"
+            )
+        cache = engine.plan_cache.stats()
+        print(
+            f"plan cache: hits={cache['hits']} misses={cache['misses']} "
+            f"plans={cache['plans']} nfas={cache['nfas']}"
+        )
     return 0
 
 
@@ -247,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="size summary of a DDL graph")
     stats.add_argument("data")
+    stats.add_argument("--query",
+                       help="STRUQL text or file: also report cold/warm "
+                            "query-engine cache counters for its where clause")
     stats.set_defaults(func=_cmd_stats)
 
     lint = sub.add_parser("lint", help="check templates against a site schema")

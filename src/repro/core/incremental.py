@@ -99,6 +99,16 @@ class DynamicSite:
         self._edge_cache: Dict[Tuple[int, InstanceArgs], List[ExpandedEdge]] = {}
         self._instance_cache: Dict[str, List[NodeInstance]] = {}
 
+    def invalidate(self) -> None:
+        """Drop cached click results after a data-graph mutation.
+
+        The engine itself needs nothing: its statistics and plans are
+        keyed by the graph's mutation epoch and refresh on the next
+        query.  Only the materialized expansion caches must go.
+        """
+        self._edge_cache.clear()
+        self._instance_cache.clear()
+
     # ------------------------------------------------------------ #
     # entry points
 

@@ -214,13 +214,12 @@ class PageServer(PageRegistry):
         for each page re-runs its incremental queries against the
         current data.  (A production system would invalidate
         selectively; the maintenance module's delta analysis shows how.)
+
+        The warm :class:`DynamicSite` -- its query engine, cached plans,
+        and statistics snapshot -- survives; only its materialized
+        expansion caches and the lazily built site graph are dropped.
         """
-        self.dynamic = DynamicSite(
-            self.dynamic.program,
-            self.dynamic.data_graph,
-            cache=self.dynamic.cache_enabled,
-            lookahead=self.dynamic.lookahead,
-        )
+        self.dynamic.invalidate()
         self.graph = LazySiteGraph(self.dynamic)
         self._renderer = Renderer(self.graph, registry=self)
         for oid in self._hrefs:

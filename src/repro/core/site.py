@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import SiteDefinitionError
 from ..graph import Graph, Oid
-from ..struql import Program, evaluate, parse
+from ..struql import Metrics, Program, QueryEngine, evaluate, parse
 from ..template import GeneratedSite, HtmlGenerator, TemplateSet
 from .constraints import CheckResult, Formula, check
 from .incremental import DynamicSite
@@ -91,6 +91,9 @@ class SiteBuilder:
     def __init__(self, data_graph: Graph) -> None:
         self.data_graph = data_graph
         self._definitions: Dict[str, SiteDefinition] = {}
+        # one warm engine for every build: plans and statistics carry
+        # across rebuilds and are invalidated by the graph epoch
+        self._engine = QueryEngine(data_graph)
 
     # ------------------------------------------------------------ #
 
@@ -115,10 +118,12 @@ class SiteBuilder:
     # ------------------------------------------------------------ #
     # the pipeline
 
-    def site_graph(self, name: str) -> Graph:
+    def site_graph(self, name: str, metrics: Optional[Metrics] = None) -> Graph:
         """Stage 2: evaluate the site-definition query -> site graph."""
         definition = self.definition(name)
-        graph = evaluate(definition.program(), self.data_graph)
+        graph = evaluate(
+            definition.program(), self.data_graph, metrics=metrics, engine=self._engine
+        )
         graph.name = f"{name}.site"
         return graph
 
@@ -127,19 +132,25 @@ class SiteBuilder:
         name: str,
         site_graph: Optional[Graph] = None,
         check_constraints: bool = True,
+        workers: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
     ) -> BuiltSite:
         """Run the full pipeline for a registered definition.
 
         Passing ``site_graph`` reuses an existing site graph (how an
         alternative template set re-renders one structure); otherwise the
-        query is evaluated fresh.
+        query is evaluated fresh.  ``workers`` > 1 renders pages on a
+        thread pool (output stays byte-identical to serial); ``metrics``
+        collects evaluation and generation counters for this build.
         """
         definition = self.definition(name)
         if site_graph is None:
-            site_graph = self.site_graph(name)
+            site_graph = self.site_graph(name, metrics=metrics)
         roots = definition.roots or _default_roots(definition)
         generator = HtmlGenerator(site_graph, definition.templates)
-        generated = generator.generate(roots, site_name=name)
+        generated = generator.generate(
+            roots, site_name=name, workers=workers, metrics=metrics
+        )
         results: Dict[str, CheckResult] = {}
         if check_constraints:
             for constraint in definition.constraints:

@@ -59,8 +59,27 @@ class Graph:
         self._by_label: Dict[str, Dict[Tuple[Oid, Target], None]] = {}
         self._collections: Dict[str, Dict[Oid, None]] = {}
         self._edge_count = 0
+        self._epoch = 0
+        #: per-label edge counts keyed by atomic target (optimizer statistic)
+        self._label_values: Dict[str, Dict[Atom, int]] = {}
+        self._distinct_atoms = 0
+        #: epoch-stamped IndexStatistics snapshot, owned by repository.indexes
+        self._stats_cache: Optional[object] = None
         self.allocator = OidAllocator()
         self.skolems = SkolemRegistry()
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped on every structural change.
+
+        Consumers (statistics snapshots, compiled-plan caches) stamp
+        their derived state with the epoch they observed; an unchanged
+        epoch guarantees the graph has not been mutated since.
+        """
+        return self._epoch
+
+    def _bump(self) -> None:
+        self._epoch += 1
 
     # ------------------------------------------------------------------ #
     # nodes
@@ -76,6 +95,7 @@ class Graph:
             oid = self.allocator.fresh(hint)
         if oid not in self._out:
             self._out[oid] = {}
+            self._bump()
         return oid
 
     def skolem(self, function: str, *args: object) -> Oid:
@@ -117,6 +137,7 @@ class Graph:
         del self._out[oid]
         for members in self._collections.values():
             members.pop(oid, None)
+        self._bump()
 
     # ------------------------------------------------------------------ #
     # edges
@@ -148,8 +169,16 @@ class Graph:
             return stored
         label_extent[pair] = None
         self._out[source].setdefault(label, []).append(stored)
-        self._in.setdefault(stored, {})[(source, label)] = None
+        if stored not in self._in:
+            self._in[stored] = {}
+            if isinstance(stored, Atom):
+                self._distinct_atoms += 1
+        self._in[stored][(source, label)] = None
+        if isinstance(stored, Atom):
+            values = self._label_values.setdefault(label, {})
+            values[stored] = values.get(stored, 0) + 1
         self._edge_count += 1
+        self._bump()
         return stored
 
     def remove_edge(self, source: Oid, label: str, target: Target) -> None:
@@ -165,12 +194,25 @@ class Graph:
             incoming.pop((source, label), None)
             if not incoming:
                 del self._in[target]
+                if isinstance(target, Atom):
+                    self._distinct_atoms -= 1
         extent = self._by_label.get(label)
         if extent is not None:
             extent.pop((source, target), None)
             if not extent:
                 del self._by_label[label]
+        if isinstance(target, Atom):
+            values = self._label_values.get(label)
+            if values is not None:
+                count = values.get(target, 0)
+                if count <= 1:
+                    values.pop(target, None)
+                    if not values:
+                        del self._label_values[label]
+                else:
+                    values[target] = count - 1
         self._edge_count -= 1
+        self._bump()
 
     def has_edge(self, source: Oid, label: str, target: Target) -> bool:
         return (source, target) in self._by_label.get(label, {})
@@ -238,6 +280,19 @@ class Graph:
         """Number of edges carrying ``label`` (optimizer statistic)."""
         return len(self._by_label.get(label, {}))
 
+    def label_value_cardinality(self, label: str) -> int:
+        """Distinct atomic targets under ``label`` (optimizer statistic).
+
+        Maintained incrementally alongside the label extent, so a
+        statistics snapshot never needs to rescan the edges.
+        """
+        return len(self._label_values.get(label, ()))
+
+    @property
+    def distinct_atom_count(self) -> int:
+        """Number of distinct atomic values appearing as edge targets."""
+        return self._distinct_atoms
+
     def atoms(self) -> Iterator[Atom]:
         """All distinct atomic values appearing as edge targets."""
         for target in self._in:
@@ -285,19 +340,25 @@ class Graph:
 
     def create_collection(self, name: str) -> None:
         """Declare an (initially empty) named collection; idempotent."""
-        self._collections.setdefault(name, {})
+        if name not in self._collections:
+            self._collections[name] = {}
+            self._bump()
 
     def add_to_collection(self, name: str, oid: Oid) -> None:
         """Add a node to a collection, creating the collection if needed."""
         if oid not in self._out:
             raise UnknownObjectError(oid)
-        self._collections.setdefault(name, {})[oid] = None
+        members = self._collections.setdefault(name, {})
+        if oid not in members:
+            members[oid] = None
+            self._bump()
 
     def remove_from_collection(self, name: str, oid: Oid) -> None:
         members = self._collections.get(name)
         if members is None or oid not in members:
             raise GraphError(f"{oid} is not in collection {name!r}")
         del members[oid]
+        self._bump()
 
     def collection(self, name: str) -> List[Oid]:
         """Members of a collection (empty list if it does not exist)."""
@@ -381,7 +442,7 @@ class Graph:
             "edges": self.edge_count,
             "labels": len(self._by_label),
             "collections": len(self._collections),
-            "atoms": sum(1 for _ in self.atoms()),
+            "atoms": self._distinct_atoms,
         }
 
     def __repr__(self) -> str:

@@ -2,7 +2,13 @@
 full indexing of schema and data."""
 
 from . import ddl
-from .indexes import IndexStatistics, SchemaIndex
+from .indexes import IndexStatistics, SchemaIndex, graph_statistics
 from .store import Repository
 
-__all__ = ["IndexStatistics", "Repository", "SchemaIndex", "ddl"]
+__all__ = [
+    "IndexStatistics",
+    "Repository",
+    "SchemaIndex",
+    "ddl",
+    "graph_statistics",
+]

@@ -18,7 +18,7 @@ atomic values are global to the graph."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..graph import Atom, Graph
 
@@ -28,7 +28,9 @@ class IndexStatistics:
     """Cardinality statistics snapshotted from a graph's indexes.
 
     All estimates are exact counts at snapshot time; the optimizer treats
-    them as estimates because the graph may since have grown.
+    them as estimates because the graph may since have grown.  Snapshots
+    taken from a graph are stamped with the graph's mutation ``epoch`` so
+    downstream caches (plans, catalogs) can tell whether they are stale.
     """
 
     node_count: int = 0
@@ -38,10 +40,19 @@ class IndexStatistics:
     distinct_atoms: int = 0
     #: per-label count of distinct atomic targets (selectivity of value tests)
     label_distinct_values: Dict[str, int] = field(default_factory=dict)
+    #: graph epoch at snapshot time (-1 for hand-built statistics)
+    epoch: int = -1
+    #: identity of the snapshotted graph (0 for hand-built statistics)
+    graph_key: int = 0
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "IndexStatistics":
-        """Snapshot statistics from the graph's live indexes."""
+        """Full-scan snapshot: recount everything from the raw indexes.
+
+        O(edges) -- kept as the ground truth that :meth:`snapshot` (the
+        incremental fast path) is property-tested against, and as the
+        seed's cold-construction baseline in the benchmarks.
+        """
         label_distinct: Dict[str, int] = {}
         for label in graph.labels():
             values = {t for _, t in graph.edges_with_label(label) if isinstance(t, Atom)}
@@ -55,7 +66,40 @@ class IndexStatistics:
             },
             distinct_atoms=sum(1 for _ in graph.atoms()),
             label_distinct_values=label_distinct,
+            epoch=graph.epoch,
+            graph_key=id(graph),
         )
+
+    @classmethod
+    def snapshot(cls, graph: Graph) -> "IndexStatistics":
+        """O(labels + collections) snapshot from the graph's incremental
+        counters; agrees exactly with :meth:`from_graph`."""
+        labels = graph.labels()
+        return cls(
+            node_count=graph.node_count,
+            edge_count=graph.edge_count,
+            label_cardinality={l: graph.label_cardinality(l) for l in labels},
+            collection_cardinality={
+                c: graph.collection_cardinality(c) for c in graph.collection_names()
+            },
+            distinct_atoms=graph.distinct_atom_count,
+            label_distinct_values={
+                l: graph.label_value_cardinality(l) for l in labels
+            },
+            epoch=graph.epoch,
+            graph_key=id(graph),
+        )
+
+    def fingerprint(self) -> Tuple[int, int]:
+        """Identity of this snapshot for plan-cache keys.
+
+        Graph-stamped snapshots compare equal exactly when they describe
+        the same graph at the same epoch; hand-built statistics fall back
+        to object identity (never shared, never falsely equal).
+        """
+        if self.epoch >= 0 and self.graph_key:
+            return (self.graph_key, self.epoch)
+        return (id(self), -1)
 
     # -------------------------------------------------------------- #
     # estimates used by the optimizer
@@ -89,6 +133,24 @@ class IndexStatistics:
     def average_out_degree(self) -> float:
         """Mean out-degree, the branching factor for path expansion."""
         return self.edge_count / self.node_count if self.node_count else 0.0
+
+
+def graph_statistics(graph: Graph) -> IndexStatistics:
+    """The shared, epoch-stamped statistics provider.
+
+    Returns the graph's cached snapshot when the graph has not mutated
+    since it was taken (same epoch), otherwise takes a fresh incremental
+    snapshot and caches it on the graph.  Every consumer -- the query
+    engine, EXPLAIN, the repository catalog -- goes through this
+    function, so they all see the same estimates and an unchanged graph
+    is never re-scanned.
+    """
+    cached = graph._stats_cache
+    if isinstance(cached, IndexStatistics) and cached.epoch == graph.epoch:
+        return cached
+    stats = IndexStatistics.snapshot(graph)
+    graph._stats_cache = stats
+    return stats
 
 
 @dataclass

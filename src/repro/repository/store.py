@@ -14,12 +14,12 @@ semistructured, and the queryable schema is whatever
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import RepositoryError
 from ..graph import Graph
 from . import ddl
-from .indexes import IndexStatistics, SchemaIndex
+from .indexes import IndexStatistics, SchemaIndex, graph_statistics
 
 _GRAPH_SUFFIX = ".ddl"
 
@@ -37,6 +37,9 @@ class Repository:
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory
         self._graphs: Dict[str, Graph] = {}
+        # (graph identity, epoch) -> schema index; serves unchanged graphs
+        # without re-listing their labels and collections
+        self._schema_cache: Dict[str, Tuple[int, int, SchemaIndex]] = {}
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -101,12 +104,27 @@ class Repository:
     # indexes and catalog
 
     def statistics(self, name: str) -> IndexStatistics:
-        """Index statistics for a stored graph (optimizer input)."""
-        return IndexStatistics.from_graph(self.fetch(name))
+        """Index statistics for a stored graph (optimizer input).
+
+        Served from the graph's epoch-stamped snapshot: an unchanged
+        graph is never re-scanned, and the snapshot is shared with the
+        query engine and EXPLAIN.
+        """
+        return graph_statistics(self.fetch(name))
 
     def schema_index(self, name: str) -> SchemaIndex:
-        """The schema index (collection and attribute names) of a graph."""
-        return SchemaIndex.from_graph(self.fetch(name))
+        """The schema index (collection and attribute names) of a graph.
+
+        Cached per (graph identity, mutation epoch); any mutation of the
+        graph invalidates the entry.
+        """
+        graph = self.fetch(name)
+        cached = self._schema_cache.get(name)
+        if cached is not None and cached[0] == id(graph) and cached[1] == graph.epoch:
+            return cached[2]
+        index = SchemaIndex.from_graph(graph)
+        self._schema_cache[name] = (id(graph), graph.epoch, index)
+        return index
 
     def catalog(self) -> Dict[str, Dict[str, int]]:
         """Size summary of every stored graph."""

@@ -54,6 +54,7 @@ from .explain import explain
 from .optimizer import estimate_cost, order_conditions
 from .parser import parse, parse_query, validate_query
 from .paths import compile_path, path_exists, reverse_expr, sources_to, targets_from
+from .plancache import PlanCache, clear_plan_cache, global_plan_cache
 
 __all__ = [
     "Alternation",
@@ -73,6 +74,7 @@ __all__ = [
     "NotCond",
     "PathCond",
     "PathExpr",
+    "PlanCache",
     "PredicateCond",
     "Program",
     "ProgramBuilder",
@@ -87,12 +89,14 @@ __all__ = [
     "any_label",
     "any_path",
     "arc",
+    "clear_plan_cache",
     "compile_path",
     "const",
     "estimate_cost",
     "evaluate",
     "explain",
     "format_query",
+    "global_plan_cache",
     "label",
     "order_conditions",
     "parse",

@@ -38,7 +38,7 @@ from ..errors import (
     StruqlEvaluationError,
 )
 from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
-from ..repository.indexes import IndexStatistics
+from ..repository.indexes import IndexStatistics, graph_statistics
 from . import builtins
 from .ast import (
     CollectClause,
@@ -60,6 +60,7 @@ from .ast import (
 from .optimizer import order_conditions, shared_not_variables
 from .parser import parse
 from .paths import NFA, compile_path, path_exists, reverse_expr, sources_to, targets_from
+from .plancache import PlanCache, global_plan_cache
 
 #: A binding value: node oid, atomic value, or arc-variable label.
 Value = Union[Oid, Atom, str]
@@ -75,6 +76,14 @@ class Metrics:
     conditions_evaluated: int = 0
     nodes_created: int = 0
     edges_created: int = 0
+    #: compiled-plan cache lookups that were served from the cache
+    plan_cache_hits: int = 0
+    #: compiled-plan cache lookups that had to run the planner
+    plan_cache_misses: int = 0
+    #: fresh statistics snapshots this engine observed (epoch changes)
+    stats_snapshots: int = 0
+    #: pages rendered by worker threads during parallel site generation
+    pages_rendered_parallel: int = 0
 
 
 # ---------------------------------------------------------------------- #
@@ -134,6 +143,74 @@ def _coercion_probes(value: Value) -> List[Atom]:
 # ---------------------------------------------------------------------- #
 # the query stage
 
+#: Sentinel marking an unbound slot in a tuple row.
+_UNSET = object()
+
+#: A tuple row: one slot per variable of the frame, ``_UNSET`` if unbound.
+Row = Tuple[object, ...]
+
+
+class _Frame:
+    """Slot table for one :meth:`QueryEngine.bindings` call.
+
+    The binding relation is pipelined as slot-indexed tuple rows instead
+    of per-row dicts: a row copy is one tuple allocation, membership and
+    deduplication are plain tuple hashing, and variables resolve to
+    integer slots once per condition instead of string lookups per row.
+    Dicts appear only at the API boundary (:meth:`to_dict`).
+    """
+
+    __slots__ = ("names", "slots")
+
+    def __init__(self, names: List[str]) -> None:
+        self.names = names
+        self.slots = {name: index for index, name in enumerate(names)}
+
+    @classmethod
+    def for_call(
+        cls, conditions: Sequence[Condition], initial_rows: Sequence[Binding]
+    ) -> "_Frame":
+        names: List[str] = []
+        seen: Set[str] = set()
+        for row in initial_rows:
+            for name in row:
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        for condition in conditions:
+            for name in condition.variables():
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        return cls(names)
+
+    def from_dict(self, binding: Binding) -> Row:
+        return tuple(binding.get(name, _UNSET) for name in self.names)
+
+    def to_dict(self, row: Row) -> Binding:
+        return {
+            name: value
+            for name, value in zip(self.names, row)
+            if value is not _UNSET
+        }
+
+    def get(self, row: Row, name: str) -> Optional[Value]:
+        index = self.slots.get(name)
+        if index is None:
+            return None
+        value = row[index]
+        return None if value is _UNSET else value  # type: ignore[return-value]
+
+    def unique_dicts(self, rows: List[Row]) -> List[Binding]:
+        """Deduplicate (first occurrence wins) and convert to dicts."""
+        seen: Set[Row] = set()
+        out: List[Binding] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(self.to_dict(row))
+        return out
+
 
 class QueryEngine:
     """Evaluates where-clauses over one graph.
@@ -141,6 +218,14 @@ class QueryEngine:
     ``optimize=False`` keeps the written condition order;
     ``use_indexes=False`` additionally replaces index lookups with full
     scans (the E5 ablation baseline).  Both default on.
+
+    Construction is O(1): statistics come lazily from the shared
+    epoch-stamped provider (:func:`~repro.repository.indexes.graph_statistics`)
+    unless an explicit ``stats`` snapshot is supplied, and condition
+    orderings / compiled path NFAs are served from ``plan_cache``
+    (defaulting to the process-wide cache) keyed by condition identity
+    and the statistics fingerprint, so repeated evaluation over an
+    unchanged graph re-plans nothing.
     """
 
     def __init__(
@@ -149,13 +234,33 @@ class QueryEngine:
         optimize: bool = True,
         use_indexes: bool = True,
         stats: Optional[IndexStatistics] = None,
+        metrics: Optional[Metrics] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.graph = graph
         self.optimize = optimize
         self.use_indexes = use_indexes
-        self.stats = stats or IndexStatistics.from_graph(graph)
-        self.metrics = Metrics()
-        self._nfa_cache: Dict[int, Tuple[NFA, NFA]] = {}
+        self._explicit_stats = stats
+        self._seen_stats: Optional[IndexStatistics] = None
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.plan_cache = plan_cache if plan_cache is not None else global_plan_cache()
+
+    @property
+    def stats(self) -> IndexStatistics:
+        """Planning statistics: the explicit snapshot if one was given,
+        otherwise the graph's shared epoch-stamped snapshot (refreshed
+        automatically after any mutation)."""
+        if self._explicit_stats is not None:
+            return self._explicit_stats
+        current = graph_statistics(self.graph)
+        if current is not self._seen_stats:
+            self._seen_stats = current
+            self.metrics.stats_snapshots += 1
+        return current
+
+    @stats.setter
+    def stats(self, value: Optional[IndexStatistics]) -> None:
+        self._explicit_stats = value
 
     # ------------------------------------------------------------ #
 
@@ -169,52 +274,88 @@ class QueryEngine:
         ``initial`` seeds the pipeline (used for nested blocks); default
         is the single empty binding.  The result is deduplicated.
         """
-        rows: List[Binding] = [dict(b) for b in (initial if initial is not None else [{}])]
+        initial_rows: List[Binding] = [
+            dict(b) for b in (initial if initial is not None else [{}])
+        ]
+        frame = _Frame.for_call(conditions, initial_rows)
+        rows: List[Row] = [frame.from_dict(b) for b in initial_rows]
         if not conditions:
-            return _dedupe(rows)
-        bound = frozenset().union(*[frozenset(b) for b in rows]) if rows else frozenset()
+            return frame.unique_dicts(rows)
+        bound = (
+            frozenset().union(*[frozenset(b) for b in initial_rows])
+            if initial_rows
+            else frozenset()
+        )
         if self.optimize:
-            ordered = order_conditions(conditions, bound, self.stats, self.use_indexes)
+            ordered = self._plan(conditions, bound)
         else:
             ordered = list(conditions)
         for condition in ordered:
             self.metrics.conditions_evaluated += 1
-            next_rows: List[Binding] = []
+            next_rows: List[Row] = []
+            extend = self._extend
             for row in rows:
-                next_rows.extend(self._extend(condition, row, conditions))
+                next_rows.extend(extend(condition, row, conditions, frame))
             rows = next_rows
             if not rows:
                 break
         self.metrics.bindings_produced += len(rows)
-        return _dedupe(rows)
+        return frame.unique_dicts(rows)
+
+    def _plan(
+        self, conditions: Sequence[Condition], bound: frozenset
+    ) -> List[Condition]:
+        """The ordered plan, via the compiled-plan cache.
+
+        The key ties the plan to the exact condition objects, the seed
+        binding pattern, the index mode, and the statistics fingerprint
+        ``(graph, epoch)`` -- so any graph mutation invalidates it.
+        """
+        stats = self.stats
+        key = PlanCache.plan_key(
+            conditions, bound, self.use_indexes, stats.fingerprint()
+        )
+        cached = self.plan_cache.get_plan(key)
+        if cached is not None:
+            self.metrics.plan_cache_hits += 1
+            return cached
+        self.metrics.plan_cache_misses += 1
+        ordered = order_conditions(conditions, bound, stats, self.use_indexes)
+        self.plan_cache.put_plan(key, conditions, ordered)
+        return ordered
 
     # ------------------------------------------------------------ #
     # per-condition extension
 
     def _extend(
-        self, condition: Condition, binding: Binding, siblings: Sequence[Condition]
-    ) -> Iterator[Binding]:
+        self,
+        condition: Condition,
+        row: Row,
+        siblings: Sequence[Condition],
+        frame: _Frame,
+    ) -> Iterator[Row]:
         if isinstance(condition, CollectionCond):
-            yield from self._extend_collection(condition, binding)
+            yield from self._extend_collection(condition, row, frame)
         elif isinstance(condition, EdgeCond):
-            yield from self._extend_edge(condition, binding)
+            yield from self._extend_edge(condition, row, frame)
         elif isinstance(condition, PathCond):
-            yield from self._extend_path(condition, binding)
+            yield from self._extend_path(condition, row, frame)
         elif isinstance(condition, ComparisonCond):
-            yield from self._extend_comparison(condition, binding)
+            yield from self._extend_comparison(condition, row, frame)
         elif isinstance(condition, PredicateCond):
-            yield from self._extend_predicate(condition, binding)
+            yield from self._extend_predicate(condition, row, frame)
         elif isinstance(condition, NotCond):
-            yield from self._extend_not(condition, binding, siblings)
+            yield from self._extend_not(condition, row, siblings, frame)
         else:
             raise StruqlEvaluationError(f"unknown condition type: {condition!r}")
 
     def _extend_collection(
-        self, condition: CollectionCond, binding: Binding
-    ) -> Iterator[Binding]:
-        value = binding.get(condition.var.name)
+        self, condition: CollectionCond, row: Row, frame: _Frame
+    ) -> Iterator[Row]:
+        index = frame.slots[condition.var.name]
+        value = row[index]
         members = self.graph.collection(condition.collection)
-        if value is not None:
+        if value is not _UNSET:
             if self.use_indexes:
                 hit = isinstance(value, Oid) and self.graph.in_collection(
                     condition.collection, value
@@ -222,18 +363,19 @@ class QueryEngine:
             else:
                 hit = value in members
             if hit:
-                yield binding
+                yield row
             return
+        prefix, suffix = row[:index], row[index + 1:]
         for member in members:
-            extended = dict(binding)
-            extended[condition.var.name] = member
-            yield extended
+            yield prefix + (member,) + suffix
 
-    def _resolve_label(self, label: Union[str, Var], binding: Binding) -> Tuple[Optional[str], Optional[str]]:
+    def _resolve_label(
+        self, label: Union[str, Var], row: Row, frame: _Frame
+    ) -> Tuple[Optional[str], Optional[str]]:
         """Returns (label string or None if unbound, arc-var name or None)."""
         if isinstance(label, str):
             return label, None
-        bound = binding.get(label.name)
+        bound = frame.get(row, label.name)
         if bound is None:
             return None, label.name
         if isinstance(bound, str):
@@ -242,32 +384,44 @@ class QueryEngine:
             return bound.as_string(), None
         return None, None  # bound to an oid: can never label an edge
 
-    def _extend_edge(self, condition: EdgeCond, binding: Binding) -> Iterator[Binding]:
-        label_value, arc_var = self._resolve_label(condition.label, binding)
+    def _extend_edge(
+        self, condition: EdgeCond, row: Row, frame: _Frame
+    ) -> Iterator[Row]:
+        label_value, arc_var = self._resolve_label(condition.label, row, frame)
         if label_value is None and arc_var is None:
             return  # arc variable bound to a non-label value
-        source_value = binding.get(condition.source.name)
+        slots = frame.slots
+        source_index = slots[condition.source.name]
+        source_value: Optional[Value] = None
+        if row[source_index] is not _UNSET:
+            source_value = row[source_index]  # type: ignore[assignment]
         target = condition.target
+        target_index: Optional[int] = None
         if isinstance(target, Const):
             target_value: Optional[Value] = target.atom
-            target_var: Optional[str] = None
         else:
-            target_value = binding.get(target.name)
-            target_var = target.name if target_value is None else None
+            slot = slots[target.name]
+            if row[slot] is _UNSET:
+                target_value = None
+                target_index = slot
+            else:
+                target_value = row[slot]  # type: ignore[assignment]
+        arc_index = slots[arc_var] if arc_var is not None else None
+        set_source = source_value is None
 
-        def emit(source: Oid, label: str, edge_target: Target) -> Iterator[Binding]:
-            extended = dict(binding)
-            if condition.source.name not in extended:
-                extended[condition.source.name] = source
-            if arc_var is not None:
-                extended[arc_var] = label
-            if target_var is not None:
-                extended[target_var] = edge_target
-            yield extended
+        def emit(source: Oid, label: str, edge_target: Target) -> Iterator[Row]:
+            new = list(row)
+            if set_source:
+                new[source_index] = source
+            if arc_index is not None:
+                new[arc_index] = label
+            if target_index is not None:
+                new[target_index] = edge_target
+            yield tuple(new)
 
         if not self.use_indexes:
             yield from self._edge_scan(
-                condition, binding, source_value, label_value, target_value, emit
+                source_value, label_value, target_value, emit
             )
             return
 
@@ -316,13 +470,11 @@ class QueryEngine:
 
     def _edge_scan(
         self,
-        condition: EdgeCond,
-        binding: Binding,
         source_value: Optional[Value],
         label_value: Optional[str],
         target_value: Optional[Value],
         emit,
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Row]:
         """Index-free full scan (naive mode)."""
         for source, label, edge_target in self.graph.edges():
             self.metrics.edges_examined += 1
@@ -335,22 +487,28 @@ class QueryEngine:
             yield from emit(source, label, edge_target)
 
     def _nfas(self, path: PathExpr) -> Tuple[NFA, NFA]:
-        cached = self._nfa_cache.get(id(path))
-        if cached is None:
-            cached = (compile_path(path), compile_path(reverse_expr(path)))
-            self._nfa_cache[id(path)] = cached
-        return cached
+        return self.plan_cache.nfas(path)
 
-    def _extend_path(self, condition: PathCond, binding: Binding) -> Iterator[Binding]:
+    def _extend_path(
+        self, condition: PathCond, row: Row, frame: _Frame
+    ) -> Iterator[Row]:
         forward, backward = self._nfas(condition.path)
-        source_value = binding.get(condition.source.name)
+        slots = frame.slots
+        source_index = slots[condition.source.name]
+        source_value: Optional[Value] = None
+        if row[source_index] is not _UNSET:
+            source_value = row[source_index]  # type: ignore[assignment]
         target = condition.target
+        target_index: Optional[int] = None
         if isinstance(target, Const):
             target_value: Optional[Value] = target.atom
-            target_var: Optional[str] = None
         else:
-            target_value = binding.get(target.name)
-            target_var = target.name if target_value is None else None
+            slot = slots[target.name]
+            if row[slot] is _UNSET:
+                target_value = None
+                target_index = slot
+            else:
+                target_value = row[slot]  # type: ignore[assignment]
 
         if source_value is not None:
             if not isinstance(source_value, Oid) or not self.graph.has_node(source_value):
@@ -362,13 +520,12 @@ class QueryEngine:
                     else list(_coercion_probes(target_value))
                 )
                 if any(path_exists(self.graph, forward, source_value, p) for p in probes):
-                    yield binding
+                    yield row
                 return
+            assert target_index is not None
+            prefix, suffix = row[:target_index], row[target_index + 1:]
             for reached in targets_from(self.graph, forward, source_value):
-                extended = dict(binding)
-                assert target_var is not None
-                extended[target_var] = reached
-                yield extended
+                yield prefix + (reached,) + suffix
             return
 
         if target_value is not None:
@@ -386,25 +543,24 @@ class QueryEngine:
                 for source in self.graph.nodes():
                     if any(path_exists(self.graph, forward, source, p) for p in probes):
                         found.setdefault(source, None)
+            prefix, suffix = row[:source_index], row[source_index + 1:]
             for source in found:
-                extended = dict(binding)
-                extended[condition.source.name] = source
-                yield extended
+                yield prefix + (source,) + suffix
             return
 
         for source in list(self.graph.nodes()):
             for reached in targets_from(self.graph, forward, source):
-                extended = dict(binding)
-                extended[condition.source.name] = source
-                assert target_var is not None
-                extended[target_var] = reached
-                yield extended
+                new = list(row)
+                new[source_index] = source
+                assert target_index is not None
+                new[target_index] = reached
+                yield tuple(new)
 
     def _extend_comparison(
-        self, condition: ComparisonCond, binding: Binding
-    ) -> Iterator[Binding]:
-        left = self._term_value(condition.left, binding)
-        right = self._term_value(condition.right, binding)
+        self, condition: ComparisonCond, row: Row, frame: _Frame
+    ) -> Iterator[Row]:
+        left = self._term_value(condition.left, row, frame)
+        right = self._term_value(condition.right, row, frame)
         if left is None and right is None:
             raise StruqlEvaluationError(
                 f"comparison {condition} has no bound side; "
@@ -418,18 +574,17 @@ class QueryEngine:
             unbound = condition.left if left is None else condition.right
             bound_value = right if left is None else left
             assert isinstance(unbound, Var) and bound_value is not None
-            extended = dict(binding)
-            extended[unbound.name] = bound_value
-            yield extended
+            index = frame.slots[unbound.name]
+            yield row[:index] + (bound_value,) + row[index + 1:]
             return
         if self._compare(left, right, condition.op):
-            yield binding
+            yield row
 
     @staticmethod
-    def _term_value(term, binding: Binding) -> Optional[Value]:
+    def _term_value(term, row: Row, frame: _Frame) -> Optional[Value]:
         if isinstance(term, Const):
             return term.atom
-        return binding.get(term.name)
+        return frame.get(row, term.name)
 
     @staticmethod
     def _compare(left: Value, right: Value, op: str) -> bool:
@@ -444,9 +599,9 @@ class QueryEngine:
         return {"<": sign < 0, "<=": sign <= 0, ">": sign > 0, ">=": sign >= 0}[op]
 
     def _extend_predicate(
-        self, condition: PredicateCond, binding: Binding
-    ) -> Iterator[Binding]:
-        value = binding.get(condition.var.name)
+        self, condition: PredicateCond, row: Row, frame: _Frame
+    ) -> Iterator[Row]:
+        value = frame.get(row, condition.var.name)
         if value is None:
             raise StruqlEvaluationError(
                 f"predicate {condition} applied to unbound variable"
@@ -458,31 +613,20 @@ class QueryEngine:
         if isinstance(value, str):
             probe = Atom(AtomType.STRING, value)
         if predicate(probe):
-            yield binding
+            yield row
 
     def _extend_not(
-        self, condition: NotCond, binding: Binding, siblings: Sequence[Condition]
-    ) -> Iterator[Binding]:
+        self, condition: NotCond, row: Row, siblings: Sequence[Condition], frame: _Frame
+    ) -> Iterator[Row]:
         needed = shared_not_variables(condition, siblings)
-        missing = [name for name in needed if name not in binding]
+        missing = [name for name in needed if frame.get(row, name) is None]
         if missing:
             raise StruqlEvaluationError(
                 f"negation {condition} checked before {missing} were bound"
             )
-        inner_rows = self.bindings(list(condition.inner), initial=[binding])
+        inner_rows = self.bindings(list(condition.inner), initial=[frame.to_dict(row)])
         if not inner_rows:
-            yield binding
-
-
-def _dedupe(rows: List[Binding]) -> List[Binding]:
-    seen: Set[Tuple[Tuple[str, Value], ...]] = set()
-    out: List[Binding] = []
-    for row in rows:
-        key = tuple(sorted(row.items(), key=lambda item: item[0]))
-        if key not in seen:
-            seen.add(key)
-            out.append(row)
-    return out
+            yield row
 
 
 # ---------------------------------------------------------------------- #
@@ -637,6 +781,7 @@ def evaluate(
     optimize: bool = True,
     use_indexes: bool = True,
     metrics: Optional[Metrics] = None,
+    engine: Optional[QueryEngine] = None,
 ) -> Graph:
     """Evaluate a STRUQL program over ``source`` and return the result graph.
 
@@ -645,6 +790,10 @@ def evaluate(
     graph while extending it, with the binding relation computed before
     construction starts (the where stage sees a consistent snapshot
     because rows are fully materialized per block).
+
+    Passing ``engine`` reuses a warm :class:`QueryEngine` (its plan cache
+    and statistics snapshot carry across calls); its metrics are pointed
+    at this call's ``metrics`` object for the duration.
     """
     if isinstance(program, str):
         program = parse(program)
@@ -652,9 +801,13 @@ def evaluate(
         program = Program(queries=[program])
     result = into if into is not None else Graph()
     shared_metrics = metrics or Metrics()
-    for query in program.queries:
-        engine = QueryEngine(source, optimize=optimize, use_indexes=use_indexes)
+    if engine is None:
+        engine = QueryEngine(
+            source, optimize=optimize, use_indexes=use_indexes, metrics=shared_metrics
+        )
+    else:
         engine.metrics = shared_metrics
+    for query in program.queries:
         rows = engine.bindings(query.where, initial=[{}])
         _Constructor(result, shared_metrics, source).run(query, rows, engine)
     return result

@@ -23,7 +23,7 @@ import io
 from typing import List, Optional, Sequence, Set, Union
 
 from ..graph import Graph
-from ..repository.indexes import IndexStatistics
+from ..repository.indexes import IndexStatistics, graph_statistics
 from .ast import (
     CollectionCond,
     ComparisonCond,
@@ -62,9 +62,7 @@ def explain(
         conditions = list(query)
         header = f"{len(conditions)} conditions"
     if stats is None:
-        stats = (
-            IndexStatistics.from_graph(graph) if graph is not None else IndexStatistics()
-        )
+        stats = graph_statistics(graph) if graph is not None else IndexStatistics()
     ordered = order_conditions(conditions, frozenset(), stats, use_indexes)
 
     out = io.StringIO()

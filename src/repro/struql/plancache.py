@@ -1,0 +1,141 @@
+"""Compiled-plan and NFA caches for STRUQL evaluation.
+
+The paper's performance story (section 2.1) is that full indexing makes
+query evaluation cheap; what it leaves implicit is that the *planning*
+work around evaluation -- ordering the where-clause conditions against
+index statistics and Thompson-compiling regular path expressions -- is
+pure overhead when the same query runs again over an unchanged graph,
+which is exactly the click-time server's workload.
+
+:class:`PlanCache` amortizes both:
+
+* **ordered-condition plans**, keyed by the *identity* of the condition
+  objects, the initially-bound variable set, the index mode, and the
+  statistics fingerprint ``(graph identity, graph epoch)``.  The epoch in
+  the key is the invalidation rule: any graph mutation bumps the epoch,
+  so stale plans can never be served -- they simply age out of the LRU.
+* **compiled path NFAs**, keyed by path-expression identity.  NFAs
+  depend only on the expression, never on the graph, so they are shared
+  across engines, graphs, and epochs.
+
+Cache values pin the AST objects they were keyed by, which keeps their
+``id()`` values from being recycled while an entry is alive (the ABA
+hazard of identity keys).  Entries are evicted LRU once ``max_entries``
+is exceeded.  A process-wide cache (:func:`global_plan_cache`) is the
+default for every :class:`~repro.struql.eval.QueryEngine`; engines and
+benchmarks that need isolation pass their own instance.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .ast import Condition, PathExpr
+from .paths import NFA, compile_path, reverse_expr
+
+#: A plan-cache key: (condition identities, bound vars, index mode,
+#: statistics fingerprint).
+PlanKey = Tuple[Tuple[int, ...], FrozenSet[str], bool, Tuple[int, int]]
+
+
+class PlanCache:
+    """An LRU cache of ordered-condition plans and compiled path NFAs."""
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = Lock()
+        # value pins the condition objects the key's ids refer to
+        self._plans: "OrderedDict[PlanKey, Tuple[Tuple[Condition, ...], List[Condition]]]" = (
+            OrderedDict()
+        )
+        # value pins the path expression the key's id refers to
+        self._nfas: "OrderedDict[int, Tuple[PathExpr, NFA, NFA]]" = OrderedDict()
+
+    # ------------------------------------------------------------ #
+    # ordered-condition plans
+
+    @staticmethod
+    def plan_key(
+        conditions: Sequence[Condition],
+        bound: FrozenSet[str],
+        use_indexes: bool,
+        fingerprint: Tuple[int, int],
+    ) -> PlanKey:
+        return (tuple(map(id, conditions)), bound, use_indexes, fingerprint)
+
+    def get_plan(self, key: PlanKey) -> Optional[List[Condition]]:
+        """The cached plan for ``key``, or None.  Counts hits/misses."""
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+
+    def put_plan(
+        self, key: PlanKey, conditions: Sequence[Condition], ordered: List[Condition]
+    ) -> None:
+        with self._lock:
+            self._plans[key] = (tuple(conditions), ordered)
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+
+    # ------------------------------------------------------------ #
+    # compiled path NFAs
+
+    def nfas(self, path: PathExpr) -> Tuple[NFA, NFA]:
+        """The (forward, backward) NFAs of a path expression, compiled
+        once per distinct expression object."""
+        key = id(path)
+        with self._lock:
+            entry = self._nfas.get(key)
+            if entry is not None and entry[0] is path:
+                self._nfas.move_to_end(key)
+                return entry[1], entry[2]
+        forward = compile_path(path)
+        backward = compile_path(reverse_expr(path))
+        with self._lock:
+            self._nfas[key] = (path, forward, backward)
+            self._nfas.move_to_end(key)
+            while len(self._nfas) > self.max_entries:
+                self._nfas.popitem(last=False)
+        return forward, backward
+
+    # ------------------------------------------------------------ #
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._nfas.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for diagnostics (``repro stats`` prints these)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "plans": len(self._plans),
+                "nfas": len(self._nfas),
+            }
+
+
+_GLOBAL_PLAN_CACHE = PlanCache()
+
+
+def global_plan_cache() -> PlanCache:
+    """The process-wide plan cache every engine shares by default."""
+    return _GLOBAL_PLAN_CACHE
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and NFA (tests and benchmarks)."""
+    _GLOBAL_PLAN_CACHE.clear()

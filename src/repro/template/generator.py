@@ -17,9 +17,11 @@ template it degrades to plain text.
 
 from __future__ import annotations
 
+import html
 import os
 import re
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import TemplateResolutionError
@@ -166,6 +168,44 @@ class GeneratedSite:
         ]
 
 
+class _DetachedRegistry(PageRegistry):
+    """Per-worker registry for one parallel page render.
+
+    Rendering in a thread must not mutate the generator's shared
+    filename table, so pages not yet assigned a filename get a
+    placeholder href token instead (``\\x00refN\\x00`` -- no
+    HTML-escapable characters, so it passes through the renderer's
+    escaping untouched).  The merge step assigns real filenames in
+    deterministic order and substitutes them back in.
+    """
+
+    __slots__ = ("generator", "tokens", "new_refs")
+
+    def __init__(self, generator: "HtmlGenerator") -> None:
+        self.generator = generator
+        #: oid -> placeholder token used in this page's html
+        self.tokens: Dict[Oid, str] = {}
+        #: first-reference (document) order of not-yet-assigned pages
+        self.new_refs: List[Oid] = []
+
+    def href_for(self, oid: Oid) -> Optional[str]:
+        generator = self.generator
+        if generator.templates.resolve(generator.graph, oid) is None:
+            return None
+        existing = generator._filenames.get(oid)
+        if existing is not None:
+            return existing
+        token = self.tokens.get(oid)
+        if token is None:
+            token = f"\x00ref{len(self.new_refs)}\x00"
+            self.tokens[oid] = token
+            self.new_refs.append(oid)
+        return token
+
+    def template_for(self, oid: Oid) -> Optional[Template]:
+        return self.generator.templates.resolve(self.generator.graph, oid)
+
+
 class HtmlGenerator(PageRegistry):
     """Generates a :class:`GeneratedSite` from a site graph and templates.
 
@@ -198,29 +238,88 @@ class HtmlGenerator(PageRegistry):
     # ------------------------------------------------------------ #
 
     def generate(
-        self, roots: Iterable[Union[Oid, str]], site_name: str = "site"
+        self,
+        roots: Iterable[Union[Oid, str]],
+        site_name: str = "site",
+        workers: Optional[int] = None,
+        metrics: Optional[object] = None,
     ) -> GeneratedSite:
-        """Render all pages reachable from ``roots``."""
+        """Render all pages reachable from ``roots``.
+
+        ``workers`` > 1 renders each wave of discovered pages on a
+        thread pool (graph reads are pure during a wave), then merges
+        results in queue order, replaying filename assignment exactly as
+        the serial generator would -- the output is byte-identical to
+        ``workers=None``.  ``metrics`` (a
+        :class:`~repro.struql.eval.Metrics`) counts parallel renders.
+        """
         site = GeneratedSite(site_name)
         for root in roots:
             for oid in self._resolve_root(root):
                 self._assign_filename(oid)
-        rendered: Dict[Oid, None] = {}
-        while self._queue:
-            oid = self._queue.popleft()
-            if oid in rendered:
-                continue
-            rendered[oid] = None
-            template = self.templates.resolve(self.graph, oid)
-            if template is None:
-                raise TemplateResolutionError(
-                    f"no template for page object {oid} "
-                    "(no object-specific file, HTML-template attribute, or "
-                    "collection template applies)"
-                )
-            site.pages[self._filenames[oid]] = self._renderer.render(template, oid)
+        if workers is not None and workers > 1:
+            self._generate_parallel(site, workers, metrics)
+        else:
+            rendered: Dict[Oid, None] = {}
+            while self._queue:
+                oid = self._queue.popleft()
+                if oid in rendered:
+                    continue
+                rendered[oid] = None
+                template = self._require_template(oid)
+                site.pages[self._filenames[oid]] = self._renderer.render(template, oid)
         site.filenames = dict(self._filenames)
         return site
+
+    def _require_template(self, oid: Oid) -> Template:
+        template = self.templates.resolve(self.graph, oid)
+        if template is None:
+            raise TemplateResolutionError(
+                f"no template for page object {oid} "
+                "(no object-specific file, HTML-template attribute, or "
+                "collection template applies)"
+            )
+        return template
+
+    def _generate_parallel(
+        self, site: GeneratedSite, workers: int, metrics: Optional[object]
+    ) -> None:
+        """Wave-based parallel rendering with a deterministic merge.
+
+        Each wave drains the queue (the pages discovered so far but not
+        rendered), renders them concurrently against detached
+        registries, then -- in wave order, and within a page in
+        first-reference document order -- assigns filenames to newly
+        discovered pages and substitutes them for the placeholder
+        tokens.  That replay order is exactly the serial generator's
+        assignment order, which is what makes the output byte-identical.
+        """
+        rendered: Dict[Oid, None] = {}
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            while self._queue:
+                wave: List[Oid] = []
+                while self._queue:
+                    oid = self._queue.popleft()
+                    if oid not in rendered:
+                        rendered[oid] = None
+                        wave.append(oid)
+                for oid, (text, registry) in zip(
+                    wave, pool.map(self._render_detached, wave)
+                ):
+                    for ref in registry.new_refs:
+                        self._assign_filename(ref)
+                    for ref, token in registry.tokens.items():
+                        text = text.replace(
+                            token, html.escape(self._filenames[ref], quote=True)
+                        )
+                    site.pages[self._filenames[oid]] = text
+                    if metrics is not None:
+                        metrics.pages_rendered_parallel += 1
+
+    def _render_detached(self, oid: Oid) -> Tuple[str, _DetachedRegistry]:
+        template = self._require_template(oid)
+        registry = _DetachedRegistry(self)
+        return Renderer(self.graph, registry=registry).render(template, oid), registry
 
     def _resolve_root(self, root: Union[Oid, str]) -> List[Oid]:
         if isinstance(root, Oid):
@@ -264,6 +363,10 @@ def generate_site(
     templates: TemplateSet,
     roots: Iterable[Union[Oid, str]],
     site_name: str = "site",
+    workers: Optional[int] = None,
+    metrics: Optional[object] = None,
 ) -> GeneratedSite:
     """One-shot convenience wrapper around :class:`HtmlGenerator`."""
-    return HtmlGenerator(graph, templates).generate(roots, site_name)
+    return HtmlGenerator(graph, templates).generate(
+        roots, site_name, workers=workers, metrics=metrics
+    )

@@ -1,0 +1,380 @@
+"""The query-engine fast path: epochs, incremental statistics, plan and
+NFA caches, warm-engine reuse, and parallel page generation.
+
+The contracts under test:
+
+* every structural mutation bumps :attr:`Graph.epoch`; no-op mutations
+  (duplicate edges, re-added nodes) do not;
+* :meth:`IndexStatistics.snapshot` (incremental counters) agrees exactly
+  with :meth:`IndexStatistics.from_graph` (full rescan) under arbitrary
+  mutation sequences -- the property that makes the fast path safe;
+* a warm engine produces the same bindings and site graphs as a cold
+  per-query engine, before and after mutations (plan-cache invalidation
+  by epoch);
+* parallel page generation is byte-identical to serial generation.
+"""
+
+import string as stringmod
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Atom, AtomType, Graph, string
+from repro.repository import IndexStatistics, Repository, ddl, graph_statistics
+from repro.struql import (
+    Metrics,
+    PlanCache,
+    QueryEngine,
+    clear_plan_cache,
+    evaluate,
+    explain,
+    global_plan_cache,
+    parse_query,
+)
+from repro.template import generate_site
+from repro.workloads import NEWS_SITE_QUERY, news_graph, news_templates
+
+# ---------------------------------------------------------------------- #
+# epoch semantics
+
+
+def test_epoch_bumps_on_structural_changes():
+    graph = Graph()
+    assert graph.epoch == 0
+    a = graph.add_node()
+    b = graph.add_node()
+    after_nodes = graph.epoch
+    assert after_nodes == 2
+
+    graph.add_edge(a, "l", b)
+    assert graph.epoch == after_nodes + 1
+    graph.add_edge(a, "l", string("v"))
+    assert graph.epoch == after_nodes + 2
+
+    graph.create_collection("C")
+    graph.add_to_collection("C", a)
+    after_collection = graph.epoch
+    assert after_collection == after_nodes + 4
+
+    graph.remove_from_collection("C", a)
+    graph.remove_edge(a, "l", b)
+    graph.remove_node(b)
+    assert graph.epoch > after_collection
+
+
+def test_epoch_unchanged_by_noop_mutations():
+    graph = Graph()
+    a = graph.add_node()
+    b = graph.add_node()
+    graph.add_edge(a, "l", b)
+    graph.add_to_collection("C", a)
+    before = graph.epoch
+
+    graph.add_node(a)  # re-add existing node
+    graph.add_edge(a, "l", b)  # duplicate edge (set semantics)
+    graph.create_collection("C")  # already exists
+    graph.add_to_collection("C", a)  # already a member
+    assert graph.epoch == before
+
+
+def test_graph_statistics_cached_until_mutation():
+    graph = Graph()
+    a = graph.add_node()
+    graph.add_edge(a, "l", string("v"))
+
+    first = graph_statistics(graph)
+    assert graph_statistics(graph) is first  # unchanged graph: same snapshot
+    assert first.epoch == graph.epoch
+    assert first.fingerprint() == (id(graph), graph.epoch)
+
+    graph.add_edge(a, "l", string("w"))
+    second = graph_statistics(graph)
+    assert second is not first
+    assert second.epoch == graph.epoch
+    assert second == IndexStatistics.from_graph(graph)
+
+
+# ---------------------------------------------------------------------- #
+# incremental statistics == full rescan (property)
+
+_atoms = st.one_of(
+    st.text(alphabet=stringmod.ascii_letters, max_size=6).map(
+        lambda s: Atom(AtomType.STRING, s)
+    ),
+    st.integers(-50, 50).map(lambda i: Atom(AtomType.INTEGER, i)),
+)
+
+_LABELS = ["a", "b", "c"]
+
+
+@st.composite
+def mutation_scripts(draw):
+    """A sequence of graph mutations encoded as data."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["node", "edge_node", "edge_atom", "remove_edge",
+                     "remove_node", "collect"]
+                ),
+                st.integers(0, 7),
+                st.integers(0, 7),
+                st.sampled_from(_LABELS),
+                _atoms,
+            ),
+            max_size=40,
+        )
+    )
+    return steps
+
+
+def _apply(graph, nodes, step):
+    op, i, j, label, atom = step
+    if op == "node" or not nodes:
+        nodes.append(graph.add_node())
+        return
+    source = nodes[i % len(nodes)]
+    if not graph.has_node(source):
+        return
+    if op == "edge_node":
+        target = nodes[j % len(nodes)]
+        if graph.has_node(target):
+            graph.add_edge(source, label, target)
+    elif op == "edge_atom":
+        graph.add_edge(source, label, atom)
+    elif op == "remove_edge":
+        targets = graph.targets(source, label)
+        if targets:
+            graph.remove_edge(source, label, targets[j % len(targets)])
+    elif op == "remove_node":
+        graph.remove_node(source)
+    elif op == "collect":
+        graph.add_to_collection("C", source)
+
+
+@given(mutation_scripts())
+@settings(max_examples=80, deadline=None)
+def test_incremental_statistics_match_full_rescan(script):
+    graph = Graph()
+    nodes = []
+    for step in script:
+        _apply(graph, nodes, step)
+        assert IndexStatistics.snapshot(graph) == IndexStatistics.from_graph(graph)
+
+
+# ---------------------------------------------------------------------- #
+# warm engine == cold engine (property), plan-cache invalidation
+
+_QUERY_TEXTS = [
+    'where C(x), x -> "a" -> y create Probe()',
+    "where C(x), x -> l -> v create Probe()",
+    'where C(x), not(x -> "b" -> y) create Probe()',
+]
+
+
+def _cold_bindings(graph, conditions):
+    engine = QueryEngine(
+        graph,
+        stats=IndexStatistics.from_graph(graph),
+        plan_cache=PlanCache(),
+    )
+    return engine.bindings(conditions)
+
+
+@given(mutation_scripts())
+@settings(max_examples=40, deadline=None)
+def test_warm_engine_matches_cold_engine_across_mutations(script):
+    queries = [parse_query(text) for text in _QUERY_TEXTS]
+    graph = Graph()
+    nodes = []
+    warm = QueryEngine(graph, plan_cache=PlanCache())
+    # interleave mutations with evaluations: caches must never go stale
+    chunk = max(1, len(script) // 3)
+    for start in range(0, len(script) + 1, chunk):
+        for step in script[start:start + chunk]:
+            _apply(graph, nodes, step)
+        for query in queries:
+            assert warm.bindings(query.where) == _cold_bindings(graph, query.where)
+
+
+def test_plan_cache_hits_and_epoch_invalidation():
+    graph = Graph()
+    a = graph.add_node()
+    graph.add_to_collection("C", a)
+    graph.add_edge(a, "a", string("v"))
+    query = parse_query(_QUERY_TEXTS[0])
+
+    cache = PlanCache()
+    engine = QueryEngine(graph, plan_cache=cache)
+    engine.bindings(query.where)
+    assert engine.metrics.plan_cache_misses == 1
+    assert engine.metrics.plan_cache_hits == 0
+    assert engine.metrics.stats_snapshots == 1
+
+    engine.bindings(query.where)
+    assert engine.metrics.plan_cache_hits == 1
+    assert engine.metrics.plan_cache_misses == 1
+    assert engine.metrics.stats_snapshots == 1  # same epoch: no new snapshot
+
+    graph.add_edge(a, "a", string("w"))  # mutation invalidates by epoch
+    engine.bindings(query.where)
+    assert engine.metrics.plan_cache_misses == 2
+    assert engine.metrics.stats_snapshots == 2
+
+    stats = cache.stats()
+    assert stats["plans"] == 2  # one per fingerprint
+    assert stats["nfas"] == 0  # no path conditions in this query
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(max_entries=2)
+    queries = [parse_query(text) for text in _QUERY_TEXTS]
+    keys = [
+        PlanCache.plan_key(q.where, frozenset(), True, (1, 0)) for q in queries
+    ]
+    for query, key in zip(queries, keys):
+        cache.put_plan(key, query.where, list(query.where))
+    assert cache.get_plan(keys[0]) is None  # evicted
+    assert cache.get_plan(keys[1]) is not None
+    assert cache.get_plan(keys[2]) is not None
+
+
+def test_global_plan_cache_shared_and_clearable():
+    clear_plan_cache()
+    graph = Graph()
+    a = graph.add_node()
+    graph.add_to_collection("C", a)
+    graph.add_edge(a, "a", string("v"))
+    query = parse_query(_QUERY_TEXTS[0])
+
+    first = QueryEngine(graph)
+    second = QueryEngine(graph)
+    assert first.plan_cache is global_plan_cache()
+    first.bindings(query.where)
+    second.bindings(query.where)  # same conditions, same epoch: a hit
+    assert second.metrics.plan_cache_hits == 1
+    clear_plan_cache()
+    assert global_plan_cache().stats()["plans"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# warm evaluate() and site-graph equality
+
+
+def test_evaluate_with_reused_engine_matches_cold():
+    from repro.struql import parse
+
+    data = news_graph(15, seed=5)
+    # plans are keyed by condition identity: parse once, evaluate many
+    program = parse(NEWS_SITE_QUERY)
+    engine = QueryEngine(data, plan_cache=PlanCache())
+    cold = evaluate(NEWS_SITE_QUERY, data)
+    warm_first = evaluate(program, data, engine=engine)
+    metrics = Metrics()
+    warm_second = evaluate(program, data, engine=engine, metrics=metrics)
+    assert ddl.dumps(warm_first) == ddl.dumps(cold)
+    assert ddl.dumps(warm_second) == ddl.dumps(cold)
+    assert metrics.plan_cache_misses == 0  # steady state: fully cached
+    assert metrics.plan_cache_hits > 0
+
+
+def test_evaluate_reused_engine_sees_mutations():
+    data = news_graph(8, seed=6)
+    engine = QueryEngine(data, plan_cache=PlanCache())
+    evaluate(NEWS_SITE_QUERY, data, engine=engine)
+
+    # mutate: new article joins the Articles collection
+    article = data.add_node()
+    data.add_edge(article, "headline", string("Breaking"))
+    data.add_edge(article, "category", string("world"))
+    data.add_to_collection("Articles", article)
+
+    warm = evaluate(NEWS_SITE_QUERY, data, engine=engine)
+    cold = evaluate(NEWS_SITE_QUERY, data)
+    assert ddl.dumps(warm) == ddl.dumps(cold)
+
+
+# ---------------------------------------------------------------------- #
+# parallel generation
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_generation_byte_identical(workers):
+    data = news_graph(25, seed=7)
+    site_graph = evaluate(NEWS_SITE_QUERY, data)
+
+    serial = generate_site(site_graph, news_templates(), ["FrontPage()"])
+    metrics = Metrics()
+    parallel = generate_site(
+        site_graph, news_templates(), ["FrontPage()"],
+        workers=workers, metrics=metrics,
+    )
+    assert parallel.pages == serial.pages  # filenames AND bytes
+    assert parallel.filenames == serial.filenames
+    assert metrics.pages_rendered_parallel == serial.page_count
+    assert serial.page_count > 1
+
+
+def test_parallel_generation_workers_one_is_serial():
+    data = news_graph(5, seed=8)
+    site_graph = evaluate(NEWS_SITE_QUERY, data)
+    metrics = Metrics()
+    site = generate_site(
+        site_graph, news_templates(), ["FrontPage()"], workers=1, metrics=metrics
+    )
+    assert metrics.pages_rendered_parallel == 0
+    assert site.page_count > 0
+
+
+# ---------------------------------------------------------------------- #
+# repository and explain fast paths
+
+
+def test_repository_statistics_served_from_epoch_cache():
+    repo = Repository()
+    graph = Graph()
+    a = graph.add_node()
+    graph.add_edge(a, "l", string("v"))
+    repo.store("g", graph, persist=False)
+
+    first = repo.statistics("g")
+    assert repo.statistics("g") is first
+    schema_first = repo.schema_index("g")
+    assert repo.schema_index("g") is schema_first
+
+    graph.add_edge(a, "m", string("w"))
+    second = repo.statistics("g")
+    assert second is not first
+    assert "m" in second.label_cardinality
+    schema_second = repo.schema_index("g")
+    assert schema_second is not schema_first
+    assert schema_second.has_label("m")
+
+
+def test_cli_stats_reports_cache_counters(tmp_path, capsys):
+    from repro.cli import main
+
+    graph = news_graph(5, seed=9)
+    path = tmp_path / "g.ddl"
+    path.write_text(ddl.dumps(graph), encoding="utf-8")
+    code = main([
+        "stats", str(path),
+        "--query", 'where Articles(a), a -> "category" -> c create Probe()',
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "epoch:" in out
+    assert "cold: plan_cache_hits=0" in out
+    assert "warm: plan_cache_hits=1" in out
+    assert "plan cache:" in out
+
+
+def test_explain_uses_shared_statistics_snapshot():
+    graph = Graph()
+    a = graph.add_node()
+    graph.add_to_collection("People", a)
+    graph.add_edge(a, "name", string("ada"))
+    snapshot = graph_statistics(graph)
+    text = explain('where People(p), p -> "name" -> n create Probe()', graph)
+    assert "collection scan People" in text
+    assert graph_statistics(graph) is snapshot  # explain did not rebuild
