@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Run ``repro analyze`` over the fixture corpus and check its verdicts.
+
+This is the CI gate for the static analyzer itself:
+
+* every fixture under ``examples/fixtures/clean/`` must analyze with
+  **zero error-severity findings** (warnings and notes are allowed);
+* every fixture under ``examples/fixtures/broken/`` plants exactly one
+  defect and declares it in ``expected_codes.txt`` (lines of
+  ``CODE file:line``); the analyzer must report each declared code with
+  a span in the declared file at the declared line, and the fixture must
+  produce at least one error overall.
+
+A SARIF file per fixture is written to the output directory (default
+``examples/fixtures/_sarif``) so CI can upload the whole corpus as an
+artifact.  Exits 0 when every fixture behaves as declared, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python examples/analyze_fixtures.py [SARIF_OUT_DIR]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis import Analyzer, load_templates, render_sarif
+from repro.repository import ddl
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def analyze_fixture(directory):
+    """Run the full analyzer over one fixture directory; returns the
+    :class:`~repro.analysis.DiagnosticReport`."""
+    query_file = os.path.join(directory, "site.struql")
+    with open(query_file, "r", encoding="utf-8") as handle:
+        query = handle.read()
+
+    data_graph = None
+    data_file = os.path.join(directory, "data.ddl")
+    if os.path.exists(data_file):
+        with open(data_file, "r", encoding="utf-8") as handle:
+            data_graph = ddl.loads(handle.read(), os.path.basename(directory))
+
+    templates = None
+    template_files = None
+    pending = []
+    template_dir = os.path.join(directory, "templates")
+    if os.path.isdir(template_dir):
+        templates, template_files, pending = load_templates(template_dir)
+
+    constraints = []
+    constraint_lines = []
+    constraint_file = os.path.join(directory, "constraints.txt")
+    if os.path.exists(constraint_file):
+        with open(constraint_file, "r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, start=1):
+                text = raw.strip()
+                if not text or text.startswith("#"):
+                    continue
+                constraints.append(text)
+                constraint_lines.append(number)
+
+    analyzer = Analyzer(
+        query=query,
+        templates=templates,
+        constraints=constraints,
+        data_graph=data_graph,
+        query_file=query_file,
+        constraint_file=constraint_file,
+        template_files=template_files,
+        constraint_lines=constraint_lines,
+    )
+    analyzer.pending.extend(pending)
+    return analyzer.run()
+
+
+def expected_codes(directory):
+    """Parse ``expected_codes.txt``: one ``CODE file:line`` per line."""
+    expectations = []
+    path = os.path.join(directory, "expected_codes.txt")
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            code, _, location = text.partition(" ")
+            file_part, _, line_part = location.rpartition(":")
+            expectations.append((code, file_part, int(line_part)))
+    return expectations
+
+
+def check_broken(directory, report):
+    """Every declared defect must be reported at the declared span."""
+    failures = []
+    if report.ok:
+        failures.append("expected at least one error finding, got none")
+    for code, file_part, line in expected_codes(directory):
+        matches = [
+            diag
+            for diag in report.by_code(code)
+            if diag.span.line == line
+            and diag.span.file.replace(os.sep, "/").endswith(file_part)
+        ]
+        if not matches:
+            got = [
+                f"{diag.code}@{diag.span.file}:{diag.span.line}"
+                for diag in report.sorted()
+            ]
+            failures.append(
+                f"expected {code} at {file_part}:{line}; got {got}"
+            )
+    return failures
+
+
+def check_clean(report):
+    if report.errors:
+        return [f"expected zero errors, got: {diag}" for diag in report.errors]
+    return []
+
+
+def main(argv):
+    sarif_dir = argv[1] if len(argv) > 1 else os.path.join(FIXTURES, "_sarif")
+    os.makedirs(sarif_dir, exist_ok=True)
+    failed = False
+    for tier, checker in (("clean", None), ("broken", check_broken)):
+        tier_dir = os.path.join(FIXTURES, tier)
+        for name in sorted(os.listdir(tier_dir)):
+            directory = os.path.join(tier_dir, name)
+            if not os.path.isdir(directory):
+                continue
+            report = analyze_fixture(directory)
+            sarif_path = os.path.join(sarif_dir, f"{tier}-{name}.sarif")
+            with open(sarif_path, "w", encoding="utf-8") as handle:
+                handle.write(render_sarif(report) + "\n")
+            if checker is None:
+                failures = check_clean(report)
+            else:
+                failures = checker(directory, report)
+            status = "FAIL" if failures else "ok"
+            print(f"{status:4s} {tier}/{name}: {report.summary()}")
+            for failure in failures:
+                failed = True
+                print(f"     - {failure}")
+    print(f"SARIF written to {sarif_dir}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,7 @@ See ``examples/`` for complete pipelines and ``DESIGN.md`` for the map
 from paper sections to modules.
 """
 
+from .analysis import Analyzer, Diagnostic, DiagnosticReport, Severity
 from .core import (
     BrowseSession,
     BuiltSite,
@@ -49,6 +50,7 @@ from .errors import (
     GraphError,
     MediatorError,
     RepositoryError,
+    SiteAnalysisError,
     SiteDefinitionError,
     StrudelError,
     StruqlError,
@@ -73,6 +75,7 @@ from .wrappers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Analyzer",
     "Atom",
     "AtomType",
     "BibtexWrapper",
@@ -81,6 +84,8 @@ __all__ = [
     "CheckResult",
     "ConstraintViolation",
     "DdlWrapper",
+    "Diagnostic",
+    "DiagnosticReport",
     "DynamicSite",
     "GeneratedSite",
     "Graph",
@@ -97,6 +102,8 @@ __all__ = [
     "Renderer",
     "Repository",
     "RepositoryError",
+    "Severity",
+    "SiteAnalysisError",
     "SiteBuilder",
     "SiteDefinition",
     "SiteDefinitionError",

@@ -1,0 +1,108 @@
+"""Bridge from generation-time audit findings to shared diagnostics.
+
+:func:`repro.core.audit.audit` keeps its own report shape (it predates
+the diagnostics framework and its ``ok``/``summary()`` API is public);
+this module converts an :class:`AuditReport` into ``AUD0xx`` diagnostics
+and -- the important part -- **dedupes against the static report**, so
+one root cause is reported once:
+
+* an unreachable *generated* page (``AUD002``) whose page type the
+  static pass already flagged unreachable (``SCH001``) is dropped;
+* empty pages (``AUD003``) are dropped when the static pass already
+  found an unknown template attribute (``TPL001``) -- the typo is the
+  cause, and it is reported with a source span instead of a filename;
+* a build-time constraint violation (``AUD004``) already refuted
+  statically (``CON004``) is dropped.
+
+The same :class:`~repro.analysis.Suppressions` specs the static
+analyzer accepts apply here, so one suppression silences a finding in
+both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .diagnostics import DiagnosticReport, Span, Suppressions, make
+
+
+def audit_diagnostics(
+    built: object,
+    report: Optional[object] = None,
+    static: Optional[DiagnosticReport] = None,
+    suppress: Iterable[str] = (),
+) -> DiagnosticReport:
+    """Convert audit findings of one built site to diagnostics.
+
+    ``built`` is a :class:`~repro.core.site.BuiltSite`; ``report`` an
+    already-computed :class:`~repro.core.audit.AuditReport` (audited
+    fresh otherwise); ``static`` the analyzer's report for the same
+    definition, used for cross-pass deduplication.
+    """
+    from ..core.audit import audit as run_audit
+
+    if report is None:
+        report = run_audit(built)
+
+    out = DiagnosticReport()
+    statically_unreachable = {
+        d.subject for d in (static.by_code("SCH001") if static else ())
+    }
+    static_typo = bool(static and static.by_code("TPL001"))
+    statically_refuted = {
+        d.subject for d in (static.by_code("CON004") if static else ())
+    }
+
+    for page, target in report.dangling_links:
+        out.add(
+            make(
+                "AUD001",
+                f"page {page} links to {target}, which was never generated",
+                subject=f"{page}->{target}",
+                span=Span(file=page),
+                source="audit",
+            )
+        )
+    for oid_name in report.unreachable_pages:
+        function = oid_name.split("(", 1)[0]
+        if function in statically_unreachable:
+            continue  # SCH001 already reported the page *type*
+        out.add(
+            make(
+                "AUD002",
+                f"site-graph node {oid_name} has a template but no "
+                "generated page links to it",
+                subject=oid_name,
+                source="audit",
+            )
+        )
+    for filename in report.empty_pages:
+        if static_typo:
+            continue  # the TPL001 typo is the root cause, reported once
+        out.add(
+            make(
+                "AUD003",
+                f"generated page {filename} has no visible text",
+                subject=filename,
+                span=Span(file=filename),
+                source="audit",
+            )
+        )
+    for constraint, result in report.constraint_results.items():
+        if bool(result):
+            continue
+        if constraint in statically_refuted:
+            continue  # CON004 already reported the refutation
+        witness = getattr(result, "witness", None)
+        detail = f" (counterexample: {witness})" if witness else ""
+        out.add(
+            make(
+                "AUD004",
+                f"constraint {constraint} is violated on the generated "
+                f"site{detail}",
+                subject=constraint,
+                source="audit",
+            )
+        )
+    out.apply_suppressions(Suppressions(suppress))
+    return out

@@ -1,0 +1,207 @@
+"""Integrity constraints as an analysis pass: verify, refute, or defer.
+
+:func:`repro.core.constraints.verify_static` answers ``VERIFIED`` /
+``UNKNOWN``; re-hosted here it gains the *refutation* direction, so one
+pass sorts each constraint into one of five diagnostics:
+
+* ``CON001`` (error) -- the constraint text does not parse;
+* ``CON002`` (info) -- statically VERIFIED: holds on every site any data
+  graph can produce;
+* ``CON004`` (error) -- statically REFUTED: for the reachability pattern
+  ``forall X (A(X) => exists Y (B(Y) and Y -R-> X))`` there is *no*
+  schema path between the B- and A-functions whose labels could match R
+  even under the most optimistic reading (arc-variable edges may carry
+  any label, guards and Skolem arguments ignored).  The site schema
+  over-approximates every generatable site graph, so any site with an
+  A-instance violates the constraint;
+* ``CON005`` (warning) -- a class name matches no collection or Skolem
+  function: the constraint holds only vacuously (usually a typo);
+* ``CON003`` (warning) -- everything else: not statically decidable,
+  model-checked after each build.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.constraints import (
+    Formula,
+    Verdict,
+    _match_reachability_pattern,
+    parse_constraint,
+    verify_static,
+)
+from ..core.schema import NS, SiteSchema
+from ..errors import ConstraintError
+from ..struql.paths import NFA, compile_path
+from .diagnostics import Diagnostic, Span, make
+
+
+def check_constraints(
+    constraints: Sequence[Union[Formula, str]],
+    schema: SiteSchema,
+    constraint_file: str = "<constraints>",
+    lines: Optional[Sequence[int]] = None,
+) -> List[Diagnostic]:
+    """Classify each constraint.  ``lines`` optionally gives the source
+    line of each constraint (e.g. its line in a constraints file);
+    without it the 1-based ordinal is used."""
+    diagnostics: List[Diagnostic] = []
+    for index, constraint in enumerate(constraints, start=1):
+        line = lines[index - 1] if lines and index <= len(lines) else index
+        span = Span(file=constraint_file, line=line)
+        if isinstance(constraint, str):
+            try:
+                formula = parse_constraint(constraint)
+            except ConstraintError as error:
+                diagnostics.append(
+                    make(
+                        "CON001",
+                        f"constraint does not parse: {error}",
+                        subject=constraint.strip(),
+                        span=span,
+                        source="constraint",
+                    )
+                )
+                continue
+        else:
+            formula = constraint
+        diagnostics.append(_classify(formula, schema, span))
+    return diagnostics
+
+
+def _classify(formula: Formula, schema: SiteSchema, span: Span) -> Diagnostic:
+    text = str(formula)
+    pattern = _match_reachability_pattern(formula)
+    if pattern is not None:
+        class_a, class_b, path, from_b = pattern
+        missing = [
+            name
+            for name in (class_a, class_b)
+            if not schema.functions_of_class(name)
+        ]
+        if missing:
+            return make(
+                "CON005",
+                f"constraint {text} names {', '.join(repr(m) for m in missing)}, "
+                "which matches no output collection or Skolem function: it "
+                "holds only vacuously",
+                subject=text,
+                span=span,
+                source="constraint",
+            )
+    if verify_static(formula, schema) is Verdict.VERIFIED:
+        return make(
+            "CON002",
+            f"constraint {text} is statically verified: it holds on every "
+            "site this query can generate",
+            subject=text,
+            span=span,
+            source="constraint",
+        )
+    if pattern is not None and refute_static(formula, schema):
+        class_a, class_b, path, from_b = pattern
+        direction = (
+            f"from any {class_b}-page to any {class_a}-page"
+            if from_b
+            else f"from any {class_a}-page to any {class_b}-page"
+        )
+        return make(
+            "CON004",
+            f"constraint {text} is statically refuted: the site schema "
+            f"has no path {direction} whose labels can match {path}, so "
+            "every site with such pages violates it",
+            subject=text,
+            span=span,
+            source="constraint",
+        )
+    return make(
+        "CON003",
+        f"constraint {text} is not statically verifiable; it will be "
+        "model-checked on the materialized site graph",
+        subject=text,
+        span=span,
+        source="constraint",
+    )
+
+
+def refute_static(formula: Union[Formula, str], schema: SiteSchema) -> bool:
+    """Sound refutation of the reachability pattern on the site schema.
+
+    Where :func:`verify_static` under-approximates ("is a matching path
+    *guaranteed*?"), this over-approximates ("is a matching path even
+    *possible*?"): guards and Skolem-argument chaining are ignored and an
+    arc-variable edge is allowed to carry any label.  If even this
+    generous schema walk finds no matching path for *any* (A-function,
+    B-function) pair, then no generated site graph -- whose edges are all
+    instances of schema edges -- can contain one, and the constraint
+    fails on every site with an A-instance.  Returns False (no refutation)
+    whenever the formula is not the supported pattern or a class is empty.
+    """
+    if isinstance(formula, str):
+        formula = parse_constraint(formula)
+    pattern = _match_reachability_pattern(formula)
+    if pattern is None:
+        return False
+    class_a, class_b, path, from_b = pattern
+    a_functions = schema.functions_of_class(class_a)
+    b_functions = schema.functions_of_class(class_b)
+    if not a_functions or not b_functions:
+        return False
+    nfa = compile_path(path)
+    if from_b:
+        starts, goals = b_functions, set(a_functions)
+    else:
+        starts, goals = a_functions, set(b_functions)
+    return not _some_path_possible(schema, nfa, starts, goals)
+
+
+def _some_path_possible(
+    schema: SiteSchema,
+    nfa: NFA,
+    starts: Sequence[str],
+    goals: Set[str],
+) -> bool:
+    initial = nfa.initial
+    frontier: List[Tuple[str, FrozenSet[int]]] = []
+    seen: Set[Tuple[str, FrozenSet[int]]] = set()
+    for function in starts:
+        state = (function, initial)
+        if state not in seen:
+            seen.add(state)
+            frontier.append(state)
+    for function, states in frontier:
+        if function in goals and nfa.accepts_in(states):
+            return True
+    while frontier:
+        function, states = frontier.pop()
+        for edge in schema.edges_from(function):
+            if edge.label_is_variable:
+                next_states = _step_any(nfa, states)
+            else:
+                next_states = nfa.step(states, edge.label)
+            if not next_states:
+                continue
+            state = (edge.target, next_states)
+            if state in seen:
+                continue
+            seen.add(state)
+            if edge.target in goals and nfa.accepts_in(next_states):
+                return True
+            # NS nodes (data-graph targets) may themselves be link
+            # sources, so the walk continues through them
+            frontier.append(state)
+    return False
+
+
+def _step_any(nfa: NFA, states: FrozenSet[int]) -> FrozenSet[int]:
+    """Optimistic wildcard step: an arc-variable edge may carry *any*
+    label, so every transition out of the current states is possible.
+    (Compare the sound-verification dual ``_step_wildcard`` in
+    :mod:`repro.core.constraints`, which only follows transitions that
+    accept every label.)"""
+    out = set()
+    for state in states:
+        for _test, nxt in nfa.transitions.get(state, ()):
+            out.add(nxt)
+    return nfa.closure(frozenset(out))

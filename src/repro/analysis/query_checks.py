@@ -1,0 +1,449 @@
+"""Static type checking of STRUQL site-definition queries.
+
+The pass walks the query's block tree once, carrying the enclosing
+blocks' bound variables, collection bindings, and constant equalities,
+and emits diagnostics against the shared model:
+
+* ``SQ001`` unknown edge label -- an edge condition's constant label does
+  not occur in the data graph's label summary (dataguide narrowing: when
+  the edge source is collection-bound, the label is first checked against
+  the labels actually found on that collection's members);
+* ``SQ002`` Skolem arity mismatch -- the same function applied with
+  different argument counts;
+* ``SQ003`` unused variable -- bound once, consumed nowhere;
+* ``SQ004`` unbound variable -- used in a construction clause but bound
+  by no enclosing where;
+* ``SQ005`` unsatisfiable conjunction -- constant propagation finds
+  ``x = "a"`` and ``x = "b"`` (or ``x = "a"`` and ``x != "a"``) in one
+  cumulative conjunction;
+* ``SQ006`` cartesian product -- a block's conditions split into two or
+  more variable-disjoint groups (every pair of their bindings joins);
+* ``SQ007`` unknown collection -- a membership condition names a
+  collection absent from the data graph.
+
+Blocks whose cumulative conjunction is provably empty (``SQ005``) or
+references vocabulary the data graph does not have (error-level
+``SQ001``/``SQ007``) are *dead*: their link clauses can never add an edge
+(``SCH002``) and their collect clauses can never fire (``SCH003``).  The
+set of dead block names is returned so the schema reachability pass can
+exclude their edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..repository.summary import LabelSummary
+from ..struql.ast import (
+    CollectionCond,
+    ComparisonCond,
+    Condition,
+    Const,
+    EdgeCond,
+    LabelIs,
+    NotCond,
+    PathCond,
+    Program,
+    Query,
+    SkolemTerm,
+    Var,
+)
+from .diagnostics import Diagnostic, Severity, Span, make
+
+
+def check_program(
+    program: Program,
+    summary: Optional[LabelSummary] = None,
+    query_file: str = "<query>",
+) -> Tuple[List[Diagnostic], FrozenSet[str]]:
+    """Check a parsed program; returns (diagnostics, dead block names)."""
+    checker = _QueryChecker(summary, query_file)
+    for query in program.queries:
+        checker.visit(query, _BlockContext())
+    checker.check_arities(program)
+    return checker.diagnostics, frozenset(checker.dead_blocks)
+
+
+class _BlockContext:
+    """What a block inherits from its enclosing blocks."""
+
+    def __init__(self) -> None:
+        self.bound: FrozenSet[str] = frozenset()
+        self.collections: Dict[str, str] = {}  # var -> collection
+        self.equalities: Dict[str, object] = {}  # var -> constant atom
+        self.dead = False
+
+    def child(self) -> "_BlockContext":
+        out = _BlockContext()
+        out.bound = self.bound
+        out.collections = dict(self.collections)
+        out.equalities = dict(self.equalities)
+        out.dead = self.dead
+        return out
+
+
+class _QueryChecker:
+    def __init__(self, summary: Optional[LabelSummary], query_file: str) -> None:
+        self.summary = summary
+        self.file = query_file
+        self.diagnostics: List[Diagnostic] = []
+        self.dead_blocks: Set[str] = set()
+
+    def _span(self, node: object) -> Span:
+        return Span(
+            file=self.file,
+            line=getattr(node, "line", 0),
+            column=getattr(node, "column", 0),
+        )
+
+    def _note(
+        self,
+        code: str,
+        message: str,
+        subject: str = "",
+        node: object = None,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        diagnostic = make(
+            code,
+            message,
+            subject=subject,
+            span=self._span(node) if node is not None else Span(file=self.file),
+            source="query",
+            severity=severity,
+        )
+        if diagnostic not in self.diagnostics:
+            self.diagnostics.append(diagnostic)
+
+    # ------------------------------------------------------------ #
+    # block walk
+
+    def visit(self, block: Query, context: _BlockContext) -> None:
+        child = context.child()
+        child.bound = context.bound | block.where_variables()
+
+        own_dead = False
+        for condition in block.where:
+            if self._check_condition(condition, child):
+                own_dead = True
+        child.dead = child.dead or own_dead
+
+        self._check_unbound(block, child.bound)
+        self._check_joins(block, context.bound)
+        self._check_unused(block, context.bound)
+
+        if child.dead:
+            if block.name:
+                self.dead_blocks.add(block.name)
+            self._note_dead_clauses(block)
+        for nested in block.blocks:
+            self.visit(nested, child)
+
+    # ------------------------------------------------------------ #
+    # per-condition vocabulary and satisfiability checks
+
+    def _check_condition(self, condition: Condition, context: _BlockContext) -> bool:
+        """Check one condition; returns True when it kills the block."""
+        dead = False
+        if isinstance(condition, CollectionCond):
+            context.collections.setdefault(condition.var.name, condition.collection)
+            if (
+                self.summary is not None
+                and condition.collection not in self.summary.collections
+            ):
+                self._note(
+                    "SQ007",
+                    f"unknown collection {condition.collection!r}: the data "
+                    f"graph defines {_shortlist(self.summary.collections)}",
+                    subject=condition.collection,
+                    node=condition,
+                )
+                dead = True
+        elif isinstance(condition, EdgeCond):
+            if isinstance(condition.label, str) and self.summary is not None:
+                dead = self._check_edge_label(condition, context) or dead
+        elif isinstance(condition, PathCond):
+            if self.summary is not None:
+                self._check_path_labels(condition)
+        elif isinstance(condition, ComparisonCond):
+            dead = self._propagate_comparison(condition, context) or dead
+        elif isinstance(condition, NotCond):
+            # negations cannot make the block dead (they only filter);
+            # still surface unknown vocabulary inside them as warnings.
+            for inner in condition.inner:
+                if isinstance(inner, EdgeCond) and isinstance(inner.label, str):
+                    if (
+                        self.summary is not None
+                        and inner.label not in self.summary.labels
+                    ):
+                        self._note(
+                            "SQ001",
+                            f"label {inner.label!r} inside not(...) never "
+                            "occurs in the data graph: the negation is "
+                            "always true",
+                            subject=inner.label,
+                            node=inner,
+                            severity=Severity.WARNING,
+                        )
+        return dead
+
+    def _check_edge_label(self, condition: EdgeCond, context: _BlockContext) -> bool:
+        label = condition.label
+        assert isinstance(label, str) and self.summary is not None
+        if label not in self.summary.labels:
+            message = (
+                f"unknown edge label {label!r}: no edge in the data graph "
+                "carries it"
+            )
+            suggestion = _nearest(label, self.summary.labels)
+            if suggestion:
+                message += f" (did you mean {suggestion!r}?)"
+            self._note("SQ001", message, subject=label, node=condition)
+            return True
+        collection = context.collections.get(condition.source.name, "")
+        if collection and collection in self.summary.collection_labels:
+            narrowed = self.summary.collection_labels[collection]
+            if label not in narrowed:
+                self._note(
+                    "SQ001",
+                    f"label {label!r} exists in the data graph but on no "
+                    f"member of collection {collection!r}",
+                    subject=label,
+                    node=condition,
+                    severity=Severity.WARNING,
+                )
+        return False
+
+    def _check_path_labels(self, condition: PathCond) -> None:
+        assert self.summary is not None
+        for leaf in condition.path.predicates():
+            if isinstance(leaf, LabelIs) and leaf.label not in self.summary.labels:
+                # a star/alternation may still match without this branch,
+                # so an unknown leaf label is a warning, not a block killer
+                self._note(
+                    "SQ001",
+                    f"path expression tests label {leaf.label!r}, which no "
+                    "edge in the data graph carries",
+                    subject=leaf.label,
+                    node=condition,
+                    severity=Severity.WARNING,
+                )
+
+    def _propagate_comparison(
+        self, condition: ComparisonCond, context: _BlockContext
+    ) -> bool:
+        """Constant propagation for SQ005; returns True on contradiction."""
+        var, const = None, None
+        if isinstance(condition.left, Var) and isinstance(condition.right, Const):
+            var, const = condition.left.name, condition.right.atom
+        elif isinstance(condition.right, Var) and isinstance(condition.left, Const):
+            var, const = condition.right.name, condition.left.atom
+        if var is None:
+            return False
+        if condition.op == "=":
+            known = context.equalities.get(var)
+            if known is not None and known != const:
+                self._note(
+                    "SQ005",
+                    f"unsatisfiable conjunction: {var} = {known!r} and "
+                    f"{var} = {const!r} can never hold together",
+                    subject=var,
+                    node=condition,
+                )
+                return True
+            context.equalities[var] = const
+        elif condition.op == "!=":
+            known = context.equalities.get(var)
+            if known is not None and known == const:
+                self._note(
+                    "SQ005",
+                    f"unsatisfiable conjunction: {var} = {const!r} and "
+                    f"{var} != {const!r} can never hold together",
+                    subject=var,
+                    node=condition,
+                )
+                return True
+        return False
+
+    # ------------------------------------------------------------ #
+    # variable accounting
+
+    def _check_unbound(self, block: Query, scope: FrozenSet[str]) -> None:
+        for term in block.create:
+            self._note_unbound(term.variables() - scope, term, "create")
+        for link in block.link:
+            self._note_unbound(link.variables() - scope, link, "link")
+        for collect in block.collect:
+            self._note_unbound(collect.variables() - scope, collect, "collect")
+
+    def _note_unbound(self, missing: FrozenSet[str], clause: object, kind: str) -> None:
+        for name in sorted(missing):
+            self._note(
+                "SQ004",
+                f"variable {name} used in {kind} clause {clause} is bound "
+                "by no enclosing where clause",
+                subject=name,
+                node=clause,
+            )
+
+    def _check_unused(self, block: Query, inherited: FrozenSet[str]) -> None:
+        introduced = block.where_variables() - inherited
+        if not introduced:
+            return
+        counts: Dict[str, int] = {name: 0 for name in introduced}
+        spans: Dict[str, Condition] = {}
+        for query in block.walk():
+            for condition in query.where:
+                for name in condition.variables():
+                    if name in counts:
+                        counts[name] += 1
+                        spans.setdefault(name, condition)
+            for term in query.create:
+                for name in term.variables():
+                    if name in counts:
+                        counts[name] += 1
+            for link in query.link:
+                for name in link.variables():
+                    if name in counts:
+                        counts[name] += 1
+            for collect in query.collect:
+                for name in collect.variables():
+                    if name in counts:
+                        counts[name] += 1
+        for name in sorted(introduced):
+            if counts[name] <= 1:
+                self._note(
+                    "SQ003",
+                    f"variable {name} is bound but never used in another "
+                    "condition or construction clause",
+                    subject=name,
+                    node=spans.get(name),
+                )
+
+    def _check_joins(self, block: Query, inherited: FrozenSet[str]) -> None:
+        """Union-find over the block's own conditions: two or more
+        variable-disjoint groups multiply out (SQ006)."""
+        conditions = [c for c in block.where if c.variables()]
+        if len(conditions) < 2:
+            return
+        parent: Dict[str, str] = {}
+
+        def find(name: str) -> str:
+            parent.setdefault(name, name)
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(left: str, right: str) -> None:
+            parent[find(left)] = find(right)
+
+        anchor = "<inherited>"
+        for condition in conditions:
+            names = sorted(condition.variables())
+            for name in names[1:]:
+                union(names[0], name)
+            if any(name in inherited for name in names):
+                union(names[0], anchor)
+        groups = {find(sorted(c.variables())[0]) for c in conditions}
+        if len(groups) > 1:
+            self._note(
+                "SQ006",
+                f"conditions of block {block.name or '<main>'} form "
+                f"{len(groups)} unjoined groups: every combination of "
+                "their bindings will be produced (cartesian product)",
+                subject=block.name or "<main>",
+                node=conditions[0],
+            )
+
+    def _note_dead_clauses(self, block: Query) -> None:
+        where = block.name or "<main>"
+        for link in block.link:
+            self._note(
+                "SCH002",
+                f"link clause {link} can never fire: block {where} has an "
+                "unsatisfiable or unmatchable where clause",
+                subject=str(link),
+                node=link,
+            )
+        for collect in block.collect:
+            self._note(
+                "SCH003",
+                f"collect clause {collect} can never fire: block {where} "
+                "has an unsatisfiable or unmatchable where clause",
+                subject=collect.collection,
+                node=collect,
+            )
+
+    # ------------------------------------------------------------ #
+    # whole-program Skolem arity check
+
+    def check_arities(self, program: Program) -> None:
+        first: Dict[str, Tuple[int, SkolemTerm]] = {}
+        for term in _skolem_terms(program):
+            arity = len(term.args)
+            seen = first.get(term.function)
+            if seen is None:
+                first[term.function] = (arity, term)
+            elif seen[0] != arity:
+                self._note(
+                    "SQ002",
+                    f"Skolem function {term.function} applied with "
+                    f"{arity} argument(s) here but {seen[0]} at line "
+                    f"{seen[1].line}: one function, one arity",
+                    subject=term.function,
+                    node=term,
+                )
+
+
+def _skolem_terms(program: Program) -> List[SkolemTerm]:
+    terms: List[SkolemTerm] = []
+    for query in program.queries:
+        for block in query.walk():
+            terms.extend(block.create)
+            for link in block.link:
+                for side in (link.source, link.target):
+                    if isinstance(side, SkolemTerm):
+                        terms.append(side)
+            for collect in block.collect:
+                if isinstance(collect.node, SkolemTerm):
+                    terms.append(collect.node)
+    return terms
+
+
+def _shortlist(names: FrozenSet[str], limit: int = 6) -> str:
+    ordered = sorted(names)
+    if len(ordered) > limit:
+        ordered = ordered[:limit] + ["..."]
+    return "{" + ", ".join(ordered) + "}"
+
+
+def _nearest(label: str, candidates: FrozenSet[str]) -> str:
+    """The candidate with the smallest edit distance, when close enough
+    to be a plausible typo (distance <= 2)."""
+    best, best_distance = "", 3
+    for candidate in candidates:
+        distance = _edit_distance(label.lower(), candidate.lower(), best_distance)
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+    return best
+
+
+def _edit_distance(a: str, b: str, cap: int) -> int:
+    if abs(len(a) - len(b)) >= cap:
+        return cap
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (char_a != char_b),
+                )
+            )
+        if min(current) >= cap:
+            return cap
+        previous = current
+    return min(previous[-1], cap)

@@ -1,0 +1,139 @@
+"""Rendering diagnostic reports: text for terminals, JSON for scripts,
+SARIF 2.1.0 for CI code-scanning annotation.
+
+The SARIF output is the minimal valid subset: one run, one tool driver
+named ``repro-analyze``, rule metadata from the shared registry, one
+result per finding with a ``physicalLocation`` when the span is known.
+GitHub's code-scanning upload and the generic SARIF viewers accept it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .diagnostics import RULES, Diagnostic, DiagnosticReport, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analyze"
+
+
+def render_text(report: DiagnosticReport, verbose: bool = False) -> str:
+    """Human-readable rendering, one finding per line, summary last."""
+    lines = [str(d) for d in report.sorted()]
+    if verbose and report.suppressed:
+        lines.append("suppressed:")
+        lines.extend(f"  {d}" for d in report.suppressed)
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def _diagnostic_dict(diagnostic: Diagnostic) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "code": diagnostic.code,
+        "severity": str(diagnostic.severity),
+        "message": diagnostic.message,
+    }
+    if diagnostic.subject:
+        out["subject"] = diagnostic.subject
+    if diagnostic.source:
+        out["source"] = diagnostic.source
+    if diagnostic.span:
+        out["span"] = {
+            "file": diagnostic.span.file,
+            "line": diagnostic.span.line,
+            "column": diagnostic.span.column,
+        }
+    return out
+
+
+def render_json(report: DiagnosticReport) -> str:
+    """Machine-readable rendering: the findings plus summary counts."""
+    payload = {
+        "diagnostics": [_diagnostic_dict(d) for d in report.sorted()],
+        "suppressed": [_diagnostic_dict(d) for d in report.suppressed],
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "notes": len(report.infos),
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules(report: DiagnosticReport) -> List[Dict[str, object]]:
+    rules = []
+    for code in report.codes():
+        rule = RULES.get(code)
+        if rule is None:
+            rules.append({"id": code})
+            continue
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": rule.default_severity.sarif_level
+                },
+            }
+        )
+    return rules
+
+
+def _sarif_result(diagnostic: Diagnostic) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.sarif_level,
+        "message": {"text": diagnostic.message},
+    }
+    span = diagnostic.span
+    if span:
+        region: Dict[str, object] = {}
+        if span.line:
+            region["startLine"] = span.line
+            if span.column:
+                region["startColumn"] = span.column
+        location: Dict[str, object] = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": span.file or "<input>"},
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    return result
+
+
+def render_sarif(report: DiagnosticReport) -> str:
+    """SARIF 2.1.0 rendering of all (unsuppressed) findings."""
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/strudel-repro/repro"
+                        ),
+                        "rules": _sarif_rules(report),
+                    }
+                },
+                "results": [_sarif_result(d) for d in report.sorted()],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+#: renderer registry for the CLI's ``--format`` flag.
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,112 @@
+"""Static checks on the inferred site schema.
+
+"A simple analysis of the query can infer the site schema" (paper
+section 2.5) -- and a simple analysis of the *site schema* answers the
+structural questions people otherwise answer by clicking around a built
+site:
+
+* ``SCH004`` -- no root page type at all: the definition names no
+  explicit roots and no Skolem function is zero-argument, so no site
+  this query produces has an entry page;
+* ``SCH001`` -- a page type (Skolem function) not reachable from any
+  root over *live* edges.  Edges whose governing block is dead (see
+  :mod:`repro.analysis.query_checks`) cannot occur in any generated
+  site, so they do not count toward reachability.
+
+Pages collected into output collections but never linked are genuinely
+unreachable by browsing -- exactly what this check is for -- so being
+collected does not rescue a page type from ``SCH001``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from ..core.schema import NS, SiteSchema
+from .diagnostics import Diagnostic, Span, make
+
+
+def root_functions(
+    schema: SiteSchema, roots: Sequence[str] = ()
+) -> List[str]:
+    """The schema's root page types: explicit root names (``RootPage()``
+    or bare function names) when given, else every zero-argument Skolem
+    function -- mirroring the builder's default-root rule."""
+    if roots:
+        names = []
+        for root in roots:
+            name = str(root).split("(", 1)[0]
+            if name in schema.functions and name not in names:
+                names.append(name)
+        return names
+    defaults = []
+    for function in schema.functions:
+        creations = schema.creations_of(function)
+        if creations and all(not c.args for c in creations):
+            defaults.append(function)
+    return defaults
+
+
+def check_schema(
+    schema: SiteSchema,
+    roots: Sequence[str] = (),
+    dead_blocks: FrozenSet[str] = frozenset(),
+    query_file: str = "<query>",
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    if not schema.functions:
+        return diagnostics
+
+    starts = root_functions(schema, roots)
+    if not starts:
+        diagnostics.append(
+            make(
+                "SCH004",
+                "no root page type: no zero-argument Skolem function "
+                "exists and no explicit roots were given",
+                subject="<roots>",
+                span=Span(file=query_file),
+                source="schema",
+            )
+        )
+        return diagnostics
+
+    reachable = _reachable(schema, starts, dead_blocks)
+    for function in schema.functions:
+        if function in reachable:
+            continue
+        creation = next(iter(schema.creations_of(function)), None)
+        diagnostics.append(
+            make(
+                "SCH001",
+                f"page type {function} is not reachable from any root "
+                f"({', '.join(starts)}) in the site schema: no browsing "
+                "path leads to these pages",
+                subject=function,
+                span=Span(
+                    file=query_file,
+                    line=getattr(creation, "line", 0),
+                    column=getattr(creation, "column", 0),
+                ),
+                source="schema",
+            )
+        )
+    return diagnostics
+
+
+def _reachable(
+    schema: SiteSchema,
+    starts: Iterable[str],
+    dead_blocks: FrozenSet[str],
+) -> FrozenSet[str]:
+    seen = set(starts)
+    queue = list(starts)
+    while queue:
+        current = queue.pop()
+        for edge in schema.edges_from(current):
+            if dead_blocks and dead_blocks.intersection(edge.query_names):
+                continue  # the governing block can never produce bindings
+            if edge.target != NS and edge.target not in seen:
+                seen.add(edge.target)
+                queue.append(edge.target)
+    return frozenset(seen)

@@ -1,0 +1,96 @@
+"""The template linter, re-hosted as an analysis pass.
+
+:mod:`repro.template.lint` stays the standalone API (and keeps its own
+finding type for backward compatibility); this module converts its
+findings to shared diagnostics and adds the assignment-level check the
+linter skips:
+
+* ``TPL001`` -- ``unknown-attribute`` lint findings (a typo: the page
+  renders empty there);
+* ``TPL002`` -- ``unknowable`` lint findings (arc-variable labels, only
+  the data decides);
+* ``TPL003`` -- a template attached (via collection or object-specific
+  assignment) to a page type the site schema does not define: the
+  assignment can never be used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.schema import SiteSchema
+from ..template.generator import TemplateSet
+from ..template.lint import LintFinding, TemplateLinter
+from .diagnostics import Diagnostic, Severity, Span, make
+
+_KIND_TO_CODE = {
+    "unknown-attribute": ("TPL001", Severity.ERROR),
+    "unknowable": ("TPL002", Severity.INFO),
+}
+
+
+def lint_to_diagnostic(
+    finding: LintFinding, files: Optional[Dict[str, str]] = None
+) -> Diagnostic:
+    """Convert one linter finding to the shared diagnostic model."""
+    code, severity = _KIND_TO_CODE.get(
+        finding.kind, ("TPL001", Severity.ERROR)
+    )
+    file = (files or {}).get(finding.template, f"<template:{finding.template}>")
+    return make(
+        code,
+        f"template {finding.template}: <{finding.expression}> -- {finding.detail}",
+        subject=f"{finding.template}:{finding.expression}",
+        span=Span(file=file, line=finding.line),
+        source="template",
+        severity=severity,
+    )
+
+
+def check_templates(
+    templates: TemplateSet,
+    schema: SiteSchema,
+    files: Optional[Dict[str, str]] = None,
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    # assignment-level check: templates attached to nothing the schema has
+    for collection, template_name in templates._collection_templates.items():
+        if collection in schema.collections or collection in schema.functions:
+            continue
+        file = (files or {}).get(template_name, f"<template:{template_name}>")
+        diagnostics.append(
+            make(
+                "TPL003",
+                f"template {template_name} is assigned to {collection!r}, "
+                "which is neither an output collection nor a Skolem "
+                "function of the site query",
+                subject=collection,
+                span=Span(file=file),
+                source="template",
+            )
+        )
+    for oid_name, template_name in templates._object_templates.items():
+        function = oid_name.split("(", 1)[0]
+        if function in schema.functions:
+            continue
+        file = (files or {}).get(template_name, f"<template:{template_name}>")
+        diagnostics.append(
+            make(
+                "TPL003",
+                f"template {template_name} is assigned to object "
+                f"{oid_name!r}, whose function {function} the site query "
+                "never creates",
+                subject=oid_name,
+                span=Span(file=file),
+                source="template",
+            )
+        )
+
+    # expression-level checks: the existing linter, converted
+    report = TemplateLinter(templates, schema).lint()
+    for finding in report.findings:
+        diagnostic = lint_to_diagnostic(finding, files)
+        if diagnostic not in diagnostics:
+            diagnostics.append(diagnostic)
+    return diagnostics

@@ -8,6 +8,8 @@ workflows::
     python -m repro wrap bibtex pubs.bib -o data.ddl
     python -m repro build --data data.ddl --query site.struql \\
                           --templates templates/ -o out/
+    python -m repro analyze --query site.struql --templates templates/ \\
+                            --data data.ddl --format sarif -o report.sarif
     python -m repro schema site.struql -o schema.dot
     python -m repro check --site site.ddl "forall X (...)"
     python -m repro bindings --data data.ddl 'where Publications(x), ...'
@@ -18,6 +20,11 @@ collection (``Publications.tmpl``) is attached to that collection, one
 named after a Skolem term with ``()`` spelled ``__`` is object-specific
 (``RootPage__.tmpl`` -> ``RootPage()``), and ``default.tmpl`` becomes
 the fallback.
+
+Exit-code contract (usable as a CI gate): 0 = clean, 1 = error-severity
+findings (``analyze``, ``lint``, ``check``, ``build`` with a failing
+audit or ``--analyze`` gate), 2 = the command itself failed (bad input
+file, syntax error raised outside an analyzed artifact).
 """
 
 from __future__ import annotations
@@ -27,7 +34,10 @@ import os
 import sys
 from typing import List, Optional
 
+from .analysis import Analyzer, RENDERERS, render_text
+from .analysis import load_templates as load_templates_checked
 from .core import SiteBuilder, SiteDefinition, SiteSchema, audit, check, verify_static
+from .errors import SiteAnalysisError, StrudelError
 from .graph import Graph
 from .graph.dot import to_dot
 from .repository import ddl
@@ -122,15 +132,69 @@ def _cmd_build(args: argparse.Namespace) -> int:
         query=_read(args.query),
         templates=templates,
         roots=list(args.root) if args.root else [],
+        constraints=_load_constraints(args)[0],
     )
     builder = SiteBuilder(data)
     builder.define(definition)
-    built = builder.build(args.name)
+    try:
+        built = builder.build(args.name, gate=args.analyze)
+    except SiteAnalysisError as error:
+        print(render_text(error.report), file=sys.stderr)
+        print(f"build of {args.name} blocked: {error}", file=sys.stderr)
+        return 1
     built.write(args.output)
     report = audit(built)
     print(f"built {args.name} -> {args.output}", file=sys.stderr)
     print(report.summary(), file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _load_constraints(args: argparse.Namespace):
+    """Constraints from ``--constraint`` flags plus a ``--constraints-file``
+    (one per line, ``#`` comments and blanks skipped); returns
+    ``(constraints, file_lines)`` with file_lines aligned to the file's
+    entries for precise spans."""
+    constraints = list(getattr(args, "constraint", None) or [])
+    lines = [0] * len(constraints)
+    path = getattr(args, "constraints_file", None)
+    if path:
+        for number, raw in enumerate(_read(path).splitlines(), start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            constraints.append(text)
+            lines.append(number)
+    return constraints, lines
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    diagnostics_pending = []
+    templates = None
+    template_files = {}
+    if args.templates:
+        templates, template_files, diagnostics_pending = load_templates_checked(
+            args.templates
+        )
+    constraints, constraint_lines = _load_constraints(args)
+    analyzer = Analyzer(
+        query=_read(args.query),
+        templates=templates,
+        constraints=constraints,
+        roots=list(args.root) if args.root else [],
+        data_graph=_load_graph(args.data) if args.data else None,
+        query_file=args.query,
+        constraint_file=args.constraints_file or "<constraints>",
+        template_files=template_files,
+        constraint_lines=constraint_lines,
+    )
+    analyzer.pending = diagnostics_pending
+    report = analyzer.run(suppress=args.suppress or [])
+    _write_output(RENDERERS[args.format](report) + "\n", args.output)
+    if args.output:
+        print(report.summary(), file=sys.stderr)
+    if args.strict and report.warnings:
+        return 1
+    return report.exit_code
 
 
 def _cmd_schema(args: argparse.Namespace) -> int:
@@ -248,7 +312,36 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("-o", "--output", required=True, help="output directory")
     build.add_argument("--name", default="site")
     build.add_argument("--root", action="append", help="root object/collection")
+    build.add_argument("--constraint", action="append",
+                       help="integrity constraint to check after building")
+    build.add_argument("--constraints-file",
+                       help="file of constraints, one per line")
+    build.add_argument("--analyze", action="store_true",
+                       help="run static analysis first; refuse to build "
+                            "on error-severity findings")
     build.set_defaults(func=_cmd_build)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically analyze a site definition (no build)",
+    )
+    analyze.add_argument("--query", required=True, help="STRUQL site definition")
+    analyze.add_argument("--templates", help="directory of .tmpl files")
+    analyze.add_argument("--data",
+                         help="data graph DDL file (enables vocabulary checks)")
+    analyze.add_argument("--constraint", action="append",
+                         help="integrity constraint (repeatable)")
+    analyze.add_argument("--constraints-file",
+                         help="file of constraints, one per line")
+    analyze.add_argument("--root", action="append",
+                         help="root object/collection for reachability")
+    analyze.add_argument("--format", choices=sorted(RENDERERS), default="text")
+    analyze.add_argument("-o", "--output", help="write the report to a file")
+    analyze.add_argument("--suppress", action="append", metavar="CODE[:SUBJECT]",
+                         help="suppress findings by code or code:subject")
+    analyze.add_argument("--strict", action="store_true",
+                         help="also exit non-zero on warnings")
+    analyze.set_defaults(func=_cmd_analyze)
 
     schema = sub.add_parser("schema", help="derive the site schema of a query")
     schema.add_argument("query", help="STRUQL file")
@@ -297,10 +390,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 findings/violations (gate-style failures
+    reported by the subcommands themselves), 2 the command crashed on
+    bad input (unreadable file, syntax error outside analyzed artifacts).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (StrudelError, OSError) as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -190,7 +190,7 @@ class _ConstraintParser:
         if token.kind != kind or (text and token.text != text):
             raise ConstraintError(
                 f"expected {text or kind!r}, got {token.text!r} "
-                f"(line {token.line})"
+                f"(line {token.line}, column {token.column})"
             )
         return token
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..errors import SiteDefinitionError
+from ..errors import SiteAnalysisError, SiteDefinitionError
 from ..graph import Graph, Oid
 from ..struql import Metrics, Program, QueryEngine, evaluate, parse
 from ..template import GeneratedSite, HtmlGenerator, TemplateSet
@@ -127,6 +127,25 @@ class SiteBuilder:
         graph.name = f"{name}.site"
         return graph
 
+    def analyze(self, name: str, include_data: bool = True, suppress=()):
+        """Statically analyze a registered definition -- no build.
+
+        Runs the full :class:`~repro.analysis.Analyzer` pass (query type
+        checking against this builder's data graph, schema reachability,
+        template lint, constraint verification) and returns the
+        :class:`~repro.analysis.DiagnosticReport`.  ``include_data=False``
+        skips the data-dependent vocabulary checks (useful when the data
+        graph is huge or not yet loaded).
+        """
+        from ..analysis import Analyzer  # deferred: analysis imports core
+
+        definition = self.definition(name)
+        analyzer = Analyzer.for_definition(
+            definition,
+            data_graph=self.data_graph if include_data else None,
+        )
+        return analyzer.run(suppress=suppress)
+
     def build(
         self,
         name: str,
@@ -134,6 +153,7 @@ class SiteBuilder:
         check_constraints: bool = True,
         workers: Optional[int] = None,
         metrics: Optional[Metrics] = None,
+        gate: bool = False,
     ) -> BuiltSite:
         """Run the full pipeline for a registered definition.
 
@@ -142,8 +162,15 @@ class SiteBuilder:
         query is evaluated fresh.  ``workers`` > 1 renders pages on a
         thread pool (output stays byte-identical to serial); ``metrics``
         collects evaluation and generation counters for this build.
+        ``gate=True`` runs :meth:`analyze` first and raises
+        :class:`~repro.errors.SiteAnalysisError` (carrying the report)
+        when any error-severity finding exists -- the pre-build gate.
         """
         definition = self.definition(name)
+        if gate:
+            report = self.analyze(name)
+            if not report.ok:
+                raise SiteAnalysisError(report)
         if site_graph is None:
             site_graph = self.site_graph(name, metrics=metrics)
         roots = definition.roots or _default_roots(definition)

@@ -77,8 +77,15 @@ class StruqlSemanticError(StruqlError):
 
     Examples: a link source that is neither created nor a data-graph node,
     an unbound variable used in a construction clause, or a Skolem function
-    applied with inconsistent arity.
+    applied with inconsistent arity.  Carries the offending clause's source
+    position when the parser knows it.
     """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
 
 
 class StruqlEvaluationError(StruqlError):
@@ -126,3 +133,20 @@ class ConstraintViolation(StrudelError):
 
 class SiteDefinitionError(StrudelError):
     """The site builder was given an inconsistent specification."""
+
+
+class SiteAnalysisError(StrudelError):
+    """The pre-build static analysis gate found error-severity findings.
+
+    Carries the full :class:`~repro.analysis.DiagnosticReport` so callers
+    can render or filter it.
+    """
+
+    def __init__(self, report: object) -> None:
+        errors = getattr(report, "errors", [])
+        codes = sorted({getattr(d, "code", "?") for d in errors})
+        super().__init__(
+            f"static analysis found {len(errors)} error(s) "
+            f"({', '.join(codes)}); site was not built"
+        )
+        self.report = report

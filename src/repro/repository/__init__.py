@@ -4,11 +4,14 @@ full indexing of schema and data."""
 from . import ddl
 from .indexes import IndexStatistics, SchemaIndex, graph_statistics
 from .store import Repository
+from .summary import LabelSummary, label_summary
 
 __all__ = [
     "IndexStatistics",
+    "LabelSummary",
     "Repository",
     "SchemaIndex",
     "ddl",
     "graph_statistics",
+    "label_summary",
 ]

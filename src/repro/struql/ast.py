@@ -153,7 +153,13 @@ def any_path() -> PathExpr:
 # where-clause conditions
 
 class Condition:
-    """Base class for where-clause conditions."""
+    """Base class for where-clause conditions.
+
+    Every concrete condition carries a source span (``line``, ``column``
+    of its first token, 0 when synthesized programmatically).  Spans are
+    excluded from equality and hashing so that structurally identical
+    conditions written at different positions still compare equal.
+    """
 
     def variables(self) -> FrozenSet[str]:
         raise NotImplementedError
@@ -165,6 +171,9 @@ class CollectionCond(Condition):
 
     collection: str
     var: Var
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         return frozenset({self.var.name})
@@ -179,6 +188,9 @@ class PredicateCond(Condition):
 
     name: str
     var: Var
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         return frozenset({self.var.name})
@@ -199,6 +211,9 @@ class EdgeCond(Condition):
     source: Var
     label: Union[str, Var]
     target: Term
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         names = {self.source.name}
@@ -221,6 +236,9 @@ class PathCond(Condition):
     path: PathExpr
     target: Term
 
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
+
     def variables(self) -> FrozenSet[str]:
         names = {self.source.name}
         if isinstance(self.target, Var):
@@ -238,6 +256,9 @@ class ComparisonCond(Condition):
     left: Term
     op: str  # one of = != < <= > >=
     right: Term
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         names = set()
@@ -261,6 +282,9 @@ class NotCond(Condition):
     """
 
     inner: Tuple[Condition, ...]
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         names: set = set()
@@ -292,6 +316,9 @@ class SkolemTerm:
     function: str
     args: Tuple[Term, ...]
 
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
+
     def variables(self) -> FrozenSet[str]:
         return frozenset(a.name for a in self.args if isinstance(a, Var))
 
@@ -315,6 +342,9 @@ class LinkClause:
     label: Union[str, Var]
     target: Union[SkolemTerm, Var, Const]
 
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
+
     def variables(self) -> FrozenSet[str]:
         names: set = set()
         for side in (self.source, self.target):
@@ -337,6 +367,9 @@ class CollectClause:
 
     collection: str
     node: NodeRef
+
+    line: int = field(compare=False, default=0)
+    column: int = field(compare=False, default=0)
 
     def variables(self) -> FrozenSet[str]:
         if isinstance(self.node, SkolemTerm):

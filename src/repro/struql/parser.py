@@ -83,10 +83,19 @@ class _Parser:
             return self._tokens[index]
         return None
 
+    def _last_position(self) -> Tuple[int, int]:
+        """Line/column of the most recently consumed token (for errors at
+        end of input, which otherwise have no position to report)."""
+        if 0 < self._index <= len(self._tokens):
+            token = self._tokens[self._index - 1]
+            return token.line, token.column
+        return 0, 0
+
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise StruqlSyntaxError("unexpected end of query")
+            line, column = self._last_position()
+            raise StruqlSyntaxError("unexpected end of query", line, column)
         self._index += 1
         return token
 
@@ -100,7 +109,10 @@ class _Parser:
     def _expect(self, kind: str, text: str = "") -> Token:
         token = self._peek()
         if token is None:
-            raise StruqlSyntaxError(f"expected {text or kind!r}, got end of query")
+            line, column = self._last_position()
+            raise StruqlSyntaxError(
+                f"expected {text or kind!r}, got end of query", line, column
+            )
         if token.kind != kind or (text and token.text != text):
             raise StruqlSyntaxError(
                 f"expected {text or kind!r}, got {token.text!r}", token.line, token.column
@@ -179,9 +191,21 @@ class _Parser:
         return self._parse_separated(self._parse_condition)
 
     def _parse_condition(self) -> Condition:
+        """Parse one condition and stamp it with its source span."""
+        token = self._peek()
+        condition = self._parse_condition_inner()
+        if token is not None and not condition.line:
+            object.__setattr__(condition, "line", token.line)
+            object.__setattr__(condition, "column", token.column)
+        return condition
+
+    def _parse_condition_inner(self) -> Condition:
         token = self._peek()
         if token is None:
-            raise StruqlSyntaxError("expected a condition, got end of query")
+            line, column = self._last_position()
+            raise StruqlSyntaxError(
+                "expected a condition, got end of query", line, column
+            )
         if token.kind == "ident" and token.text == "not":
             return self._parse_not()
         follower = self._peek(1)
@@ -321,7 +345,12 @@ class _Parser:
             while self._match("punct", ","):
                 args.append(self._parse_skolem_arg())
             self._expect("punct", ")")
-        return SkolemTerm(function=name.text, args=tuple(args))
+        return SkolemTerm(
+            function=name.text,
+            args=tuple(args),
+            line=name.line,
+            column=name.column,
+        )
 
     def _parse_skolem_arg(self) -> Term:
         token = self._peek()
@@ -353,10 +382,14 @@ class _Parser:
             return self._parse_skolem_term()
         term = self._parse_term()
         if not isinstance(term, Var):
-            raise StruqlSyntaxError("expected a node reference")
+            line, column = self._last_position()
+            raise StruqlSyntaxError(
+                f"expected a node reference, got {term}", line, column
+            )
         return term
 
     def _parse_link_clause(self) -> LinkClause:
+        start = self._peek()
         source = self._parse_node_ref()
         self._expect("arrow")
         label_token = self._next()
@@ -373,7 +406,13 @@ class _Parser:
             )
         self._expect("arrow")
         target = self._parse_link_target()
-        return LinkClause(source=source, label=label, target=target)
+        return LinkClause(
+            source=source,
+            label=label,
+            target=target,
+            line=start.line if start else 0,
+            column=start.column if start else 0,
+        )
 
     def _parse_link_target(self) -> Union[SkolemTerm, Var, Const]:
         token = self._peek()
@@ -393,7 +432,12 @@ class _Parser:
         self._expect("punct", "(")
         node = self._parse_node_ref()
         self._expect("punct", ")")
-        return CollectClause(collection=name.text, node=node)
+        return CollectClause(
+            collection=name.text,
+            node=node,
+            line=name.line,
+            column=name.column,
+        )
 
 
 # -------------------------------------------------------------------- #
@@ -434,18 +478,22 @@ def validate_query(query: Query, inherited: frozenset) -> None:
     """
     scope = set(inherited) | set(query.where_variables())
     for created in query.create:
-        _check_vars(created.variables(), scope, f"create {created}")
+        _check_vars(created.variables(), scope, f"create {created}", created)
     for link in query.link:
-        _check_vars(link.variables(), scope, f"link {link}")
+        _check_vars(link.variables(), scope, f"link {link}", link)
     for collect in query.collect:
-        _check_vars(collect.variables(), scope, f"collect {collect}")
+        _check_vars(collect.variables(), scope, f"collect {collect}", collect)
     for block in query.blocks:
         validate_query(block, inherited=frozenset(scope))
 
 
-def _check_vars(used: frozenset, scope: Set[str], context: str) -> None:
+def _check_vars(used: frozenset, scope: Set[str], context: str, clause=None) -> None:
     unbound = sorted(used - scope)
     if unbound:
+        line = getattr(clause, "line", 0)
+        column = getattr(clause, "column", 0)
         raise StruqlSemanticError(
-            f"unbound variable(s) {', '.join(unbound)} in {context}"
+            f"unbound variable(s) {', '.join(unbound)} in {context}",
+            line,
+            column,
         )

@@ -89,6 +89,7 @@ class Format(Node):
 
     expr: AttrExpr
     directives: Directives = Directives()
+    line: int = field(compare=False, default=0)
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,7 @@ class Conditional(Node):
     literal: str = ""
     then_nodes: Tuple[Node, ...] = ()
     else_nodes: Tuple[Node, ...] = ()
+    line: int = field(compare=False, default=0)
 
 
 @dataclass(frozen=True)
@@ -115,6 +117,7 @@ class Loop(Node):
     expr: AttrExpr
     body: Tuple[Node, ...] = ()
     delim: str = ""
+    line: int = field(compare=False, default=0)
 
 
 @dataclass

@@ -47,11 +47,15 @@ class LintFinding:
     severity: str  # "error" | "info"
     kind: str  # "unknown-attribute" | "unknowable"
     detail: str
+    #: 1-based source line of the offending tag (0 when unknown).  Kept
+    #: out of equality so repeated findings still deduplicate.
+    line: int = field(compare=False, default=0)
 
     def __str__(self) -> str:
+        where = f":{self.line}" if self.line else ""
         return (
-            f"[{self.severity}] {self.template}: <SFMT-ish {self.expression}> -- "
-            f"{self.kind}: {self.detail}"
+            f"[{self.severity}] {self.template}{where}: "
+            f"<SFMT-ish {self.expression}> -- {self.kind}: {self.detail}"
         )
 
 
@@ -132,14 +136,18 @@ class TemplateLinter:
     ) -> None:
         for node in nodes:
             if isinstance(node, Format):
-                self._check_expr(node.expr, template, context, loop_vars, report)
+                self._check_expr(
+                    node.expr, template, context, loop_vars, report, node.line
+                )
             elif isinstance(node, Conditional):
-                self._check_expr(node.expr, template, context, loop_vars, report)
+                self._check_expr(
+                    node.expr, template, context, loop_vars, report, node.line
+                )
                 self._lint_nodes(node.then_nodes, template, context, loop_vars, report)
                 self._lint_nodes(node.else_nodes, template, context, loop_vars, report)
             elif isinstance(node, Loop):
                 endpoints = self._check_expr(
-                    node.expr, template, context, loop_vars, report
+                    node.expr, template, context, loop_vars, report, node.line
                 )
                 extended = dict(loop_vars)
                 extended[node.var] = endpoints
@@ -152,6 +160,7 @@ class TemplateLinter:
         context: FrozenSet[str],
         loop_vars: Dict[str, FrozenSet[str]],
         report: LintReport,
+        line: int = 0,
     ) -> FrozenSet[str]:
         """Walk an attribute expression through the schema; returns the
         reachable endpoint functions (for loop-variable tracking)."""
@@ -187,6 +196,7 @@ class TemplateLinter:
                             f"clause on {sorted(current)}, but arc-variable "
                             "clauses may copy it from the data"
                         ),
+                        line=line,
                     )
                 else:
                     self._note(
@@ -199,6 +209,7 @@ class TemplateLinter:
                             f"no link clause produces {label!r} on "
                             f"{sorted(current)} (step {position + 1})"
                         ),
+                        line=line,
                     )
                 return frozenset()
             current = frozenset(next_functions)
@@ -212,6 +223,7 @@ class TemplateLinter:
         severity: str,
         kind: str,
         detail: str,
+        line: int = 0,
     ) -> None:
         finding = LintFinding(
             template=template.name,
@@ -219,6 +231,7 @@ class TemplateLinter:
             severity=severity,
             kind=kind,
             detail=detail,
+            line=line,
         )
         if finding not in report.findings:
             report.findings.append(finding)

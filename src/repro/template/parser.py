@@ -128,7 +128,7 @@ class _TemplateParser:
         expr_text, rest = _split_leading_expr(body, line)
         expr = parse_attr_expr(expr_text, line)
         directives = _parse_directives(rest, line)
-        return Format(expr=expr, directives=directives)
+        return Format(expr=expr, directives=directives, line=line)
 
     def _parse_sif(self) -> Node:
         line = self._line()
@@ -156,6 +156,7 @@ class _TemplateParser:
             literal=literal,
             then_nodes=tuple(then_nodes),
             else_nodes=tuple(else_nodes),
+            line=line,
         )
 
     def _parse_sfor(self) -> Node:
@@ -171,7 +172,13 @@ class _TemplateParser:
         expr = parse_attr_expr(expr_text, line)
         directives = _parse_directives(rest, line)
         nodes, _ = self.parse_nodes(stop_at=("/SFOR",))
-        return Loop(var=var, expr=expr, body=tuple(nodes), delim=directives.delim or "")
+        return Loop(
+            var=var,
+            expr=expr,
+            body=tuple(nodes),
+            delim=directives.delim or "",
+            line=line,
+        )
 
 
 # -------------------------------------------------------------------- #

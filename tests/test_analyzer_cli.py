@@ -1,0 +1,230 @@
+"""Tests for the `repro analyze` CLI and its exit-code contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+DATA_DDL = """
+collection Publications
+
+object "&p.1" {
+  title: "Alpha"
+  year: "1998"
+}
+
+member Publications: "&p.1"
+"""
+
+CLEAN_QUERY = """\
+create Root()
+where Publications(x), x -> "title" -> t
+create Page(x)
+link Root() -> "Paper" -> Page(x),
+     Page(x) -> "Title" -> t
+collect Pages(Page(x))
+"""
+
+BROKEN_QUERY = CLEAN_QUERY.replace('"title"', '"titel"')
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "data.ddl").write_text(DATA_DDL)
+    (tmp_path / "site.struql").write_text(CLEAN_QUERY)
+    (tmp_path / "broken.struql").write_text(BROKEN_QUERY)
+    templates = tmp_path / "templates"
+    templates.mkdir()
+    (templates / "Root__.tmpl").write_text("<SFMT Paper UL>\n")
+    (templates / "Pages.tmpl").write_text("<h2><SFMT Title></h2>\n")
+    return tmp_path
+
+
+def _analyze(workspace, *extra):
+    return main([
+        "analyze", "--query", str(workspace / "site.struql"),
+        "--data", str(workspace / "data.ddl"), *extra,
+    ])
+
+
+class TestExitCodes:
+    def test_clean_site_exits_zero(self, workspace, capsys):
+        assert _analyze(workspace) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+            "--data", str(workspace / "data.ddl"),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SQ001" in out and "titel" in out
+
+    def test_crash_exits_two(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "does-not-exist.struql"),
+        ])
+        assert code == 2
+        assert "repro analyze: error:" in capsys.readouterr().err
+
+    def test_unreadable_data_graph_exits_two(self, workspace, capsys):
+        (workspace / "bad.ddl").write_text("object {{{")
+        code = _analyze(workspace, "--data", str(workspace / "bad.ddl"))
+        assert code == 2
+
+    def test_strict_turns_warnings_into_failure(self, workspace):
+        # an unused variable is only a warning: exit 0 normally...
+        (workspace / "warn.struql").write_text(
+            CLEAN_QUERY.replace(
+                'x -> "title" -> t',
+                'x -> "title" -> t, x -> "year" -> y',
+            )
+        )
+        args = [
+            "analyze", "--query", str(workspace / "warn.struql"),
+            "--data", str(workspace / "data.ddl"),
+        ]
+        assert main(args) == 0
+        # ...but --strict gates on warnings too
+        assert main(args + ["--strict"]) == 1
+
+
+class TestInputs:
+    def test_templates_are_linted(self, workspace, capsys):
+        (workspace / "templates" / "Pages.tmpl").write_text("<SFMT Titel>\n")
+        code = _analyze(
+            workspace, "--templates", str(workspace / "templates")
+        )
+        assert code == 1
+        assert "TPL001" in capsys.readouterr().out
+
+    def test_template_syntax_error_is_tpl004(self, workspace, capsys):
+        (workspace / "templates" / "Pages.tmpl").write_text("<SFOR x IN>\n")
+        code = _analyze(
+            workspace, "--templates", str(workspace / "templates")
+        )
+        assert code == 1
+        assert "TPL004" in capsys.readouterr().out
+
+    def test_inline_constraint(self, workspace, capsys):
+        code = _analyze(
+            workspace, "--constraint",
+            'forall X (Page(X) => exists Y (Root(Y) and Y -> "Paper" -> X))',
+        )
+        assert code == 0
+        assert "CON002" in capsys.readouterr().out
+
+    def test_constraints_file_lines_in_spans(self, workspace, capsys):
+        constraints = workspace / "c.txt"
+        constraints.write_text(
+            "# comment line\n"
+            "\n"
+            'forall X (Page(X) => exists Y (Page(Y) and Y -> "Next" -> X))\n'
+        )
+        code = _analyze(workspace, "--constraints-file", str(constraints))
+        assert code == 1
+        assert f"{constraints}:3" in capsys.readouterr().out
+
+    def test_without_data_graph_structural_only(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+        ])
+        assert code == 0  # no vocabulary to check against
+
+    def test_explicit_roots(self, workspace, capsys):
+        (workspace / "rootless.struql").write_text(
+            "where Publications(x)\ncreate Page(x)\n"
+            'link Page(x) -> "Self" -> Page(x)\ncollect Pages(Page(x))'
+        )
+        args = [
+            "analyze", "--query", str(workspace / "rootless.struql"),
+            "--data", str(workspace / "data.ddl"),
+        ]
+        assert main(args) == 1  # SCH004: no root page type
+        capsys.readouterr()
+        assert main(args + ["--root", "Page()"]) == 0
+
+
+class TestOutput:
+    def test_json_format(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+            "--data", str(workspace / "data.ddl"), "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(d["code"] == "SQ001" for d in payload["diagnostics"])
+
+    def test_sarif_format(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+            "--data", str(workspace / "data.ddl"), "--format", "sarif",
+        ])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-analyze"
+
+    def test_output_file_with_summary_on_stderr(self, workspace, capsys):
+        out = workspace / "report.sarif"
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+            "--data", str(workspace / "data.ddl"),
+            "--format", "sarif", "-o", str(out),
+        ])
+        assert code == 1
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error(s)" in captured.err
+
+    def test_suppress_silences_findings(self, workspace, capsys):
+        code = main([
+            "analyze", "--query", str(workspace / "broken.struql"),
+            "--data", str(workspace / "data.ddl"),
+            "--suppress", "SQ001", "--suppress", "SCH001",
+            "--suppress", "SCH002", "--suppress", "SCH003",
+        ])
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+
+class TestBuildGate:
+    def _build(self, workspace, query, *extra):
+        out_dir = workspace / "out"
+        return main([
+            "build", "--data", str(workspace / "data.ddl"),
+            "--query", str(workspace / query),
+            "--templates", str(workspace / "templates"),
+            "-o", str(out_dir), *extra,
+        ])
+
+    def test_gate_passes_clean_build(self, workspace):
+        assert self._build(workspace, "site.struql", "--analyze") == 0
+        assert (workspace / "out" / "index.html").exists()
+
+    def test_gate_blocks_broken_build(self, workspace, capsys):
+        code = self._build(workspace, "broken.struql", "--analyze")
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "SQ001" in captured.err
+        assert not (workspace / "out").exists()
+
+    def test_ungated_build_still_materializes(self, workspace):
+        # without --analyze the site builds; the post-build audit still
+        # notices the resulting empty page and reports it via exit code
+        code = self._build(workspace, "broken.struql")
+        assert code == 1
+        assert (workspace / "out" / "index.html").exists()
+
+    def test_gated_build_checks_constraints(self, workspace, capsys):
+        code = self._build(
+            workspace, "site.struql", "--analyze", "--constraint",
+            'forall X (Page(X) => exists Y (Page(Y) and Y -> "Next" -> X))',
+        )
+        assert code == 1
+        assert "CON004" in capsys.readouterr().err

@@ -146,3 +146,83 @@ class TestLinter:
     def test_homepage_templates_lint_clean(self):
         schema = SiteSchema.from_program(parse(HOMEPAGE_QUERY))
         assert lint_templates(homepage_templates(), schema).ok
+
+
+class TestLinterCornerCases:
+    def _schema(self):
+        return SiteSchema.from_program(parse(HOMEPAGE_QUERY))
+
+    def test_nested_loops_track_both_variables(self):
+        schema = self._schema()
+        good = TemplateSet()
+        good.add(
+            "root",
+            "<SFOR y IN YearPage>"
+            "<SFOR p IN @y.Paper><SFMT @p.abstractPage></SFOR>"
+            "</SFOR>",
+        )
+        good.for_object("RootPage()", "root")
+        assert lint_templates(good, schema).ok
+        bad = TemplateSet()
+        bad.add(
+            "root",
+            "<SFOR y IN YearPage>"
+            "<SFOR p IN @y.Nope><SFMT @p.abstractPage></SFOR>"
+            "</SFOR>",
+        )
+        bad.for_object("RootPage()", "root")
+        report = lint_templates(bad, schema)
+        assert not report.ok
+        assert "Nope" in str(report.errors[0])
+
+    def test_conditional_inside_loop_uses_loop_variable(self):
+        schema = self._schema()
+        good = TemplateSet()
+        good.add(
+            "root",
+            "<SFOR y IN YearPage><SIF @y.Year><SFMT @y.Year></SIF></SFOR>",
+        )
+        good.for_object("RootPage()", "root")
+        assert lint_templates(good, schema).ok
+        bad = TemplateSet()
+        bad.add(
+            "root",
+            "<SFOR y IN YearPage><SIF @y.Yearr>x</SIF></SFOR>",
+        )
+        bad.for_object("RootPage()", "root")
+        assert not lint_templates(bad, schema).ok
+
+    def test_arc_variable_multi_step_is_unknowable(self):
+        # PaperPresentation carries arc-variable link clauses, so a
+        # multi-step expression through it cannot be refuted
+        schema = self._schema()
+        templates = TemplateSet()
+        templates.add("p", "<SFMT anything.whatever.deeper>")
+        templates.for_collection("Presentations", "p")
+        report = lint_templates(templates, schema)
+        assert report.ok
+        assert any(f.kind == "unknowable" for f in report.findings)
+
+    def test_object_specific_assignment_overrides_collection(self):
+        # YearPage() object template is linted against YearPage's own
+        # edges even when the collection has a different template
+        schema = self._schema()
+        templates = TemplateSet()
+        templates.add("generic", "<SFMT Year>")
+        templates.for_collection("YearPages", "generic")
+        templates.add("special", "<SFMT Yearr>")
+        templates.for_object("YearPage()", "special")
+        report = lint_templates(templates, schema)
+        assert not report.ok
+        assert report.errors[0].template == "special"
+
+    def test_findings_carry_line_numbers(self):
+        schema = self._schema()
+        templates = TemplateSet()
+        templates.add("r", "<html>\n<p>fine</p>\n<SFMT Oops>\n</html>")
+        templates.for_object("RootPage()", "r")
+        report = lint_templates(templates, schema)
+        assert not report.ok
+        finding = report.errors[0]
+        assert finding.line == 3
+        assert ":3:" in str(finding)

@@ -325,3 +325,40 @@ class TestRoundTrip:
         assert reparsed.collect == query.collect
         assert len(reparsed.blocks) == len(query.blocks)
         assert reparsed.blocks[0].link == query.blocks[0].link
+
+
+class TestSourceSpans:
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(StruqlSyntaxError) as info:
+            parse('create Root()\nwhere Pubs(x), x -> "a" y\ncreate P(x)')
+        assert info.value.line == 2
+        assert info.value.column > 0
+        assert "(line 2, column" in str(info.value)
+
+    def test_semantic_error_carries_position(self):
+        with pytest.raises(StruqlSemanticError) as info:
+            parse('where Pubs(x)\ncreate P(x)\nlink P(x) -> "a" -> z')
+        assert info.value.line == 3
+        assert "(line 3, column" in str(info.value)
+
+    def test_conditions_carry_spans(self):
+        program = parse(
+            'where Pubs(x),\n      x -> "year" -> y\ncreate P(x)'
+        )
+        first, second = program.queries[0].where
+        assert (first.line, first.column) == (1, 7)
+        assert (second.line, second.column) == (2, 7)
+
+    def test_skolem_terms_carry_spans(self):
+        program = parse(
+            "where Pubs(x)\ncreate P(x)\nlink P(x) -> \"a\" -> x"
+        )
+        block = program.queries[0]
+        assert block.create[0].line == 2
+        assert block.link[0].source.line == 3
+
+    def test_spans_do_not_affect_equality(self):
+        one = parse('where Pubs(x), x -> "a" -> y create P(x)')
+        two = parse('where Pubs(x),\n  x -> "a" -> y\ncreate P(x)')
+        assert one.queries[0].where == two.queries[0].where
+        assert one.queries[0].create == two.queries[0].create

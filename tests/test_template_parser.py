@@ -199,3 +199,22 @@ class TestErrorPositions:
     def test_unexpected_closer(self):
         with pytest.raises(TemplateSyntaxError):
             parse_template("text</SIF>")
+
+
+class TestNodeLines:
+    def test_nodes_remember_their_lines(self):
+        template = parse_template(
+            "<h1>t</h1>\n<SFMT title>\n<SIF year>y</SIF>\n"
+            "<SFOR a IN author>x</SFOR>"
+        )
+        fmt = template.nodes[1]
+        cond = template.nodes[3]
+        loop = template.nodes[5]
+        assert isinstance(fmt, Format) and fmt.line == 2
+        assert isinstance(cond, Conditional) and cond.line == 3
+        assert isinstance(loop, Loop) and loop.line == 4
+
+    def test_line_excluded_from_equality(self):
+        one = parse_template("<SFMT title>").nodes[0]
+        two = parse_template("\n\n<SFMT title>").nodes[-1]
+        assert one == two
