@@ -242,6 +242,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for collection in graph.collection_names():
         print(f"collection {collection}: {graph.collection_cardinality(collection)}")
     print(f"epoch: {graph.epoch}")
+    delta = graph.delta_since(0)
+    if delta is None:
+        print("delta log: truncated (selective refresh would fall back to coarse)")
+    else:
+        print(f"delta log: {delta.size()} mutations buffered since epoch 0")
     if args.query:
         from .struql import Metrics, QueryEngine, parse as parse_struql
 
@@ -263,6 +268,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"plan cache: hits={cache['hits']} misses={cache['misses']} "
             f"plans={cache['plans']} nfas={cache['nfas']}"
         )
+    from .repository import statistics_refresh_counters
+
+    refreshes = statistics_refresh_counters()
+    print(
+        f"stats refresh: full_snapshots={refreshes['stats_full_snapshots']} "
+        f"delta_refreshes={refreshes['stats_delta_refreshes']}"
+    )
     return 0
 
 

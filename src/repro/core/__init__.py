@@ -29,8 +29,10 @@ from .incremental import (
     DynamicSite,
     ExpandedEdge,
     NodeInstance,
+    RefreshResult,
 )
 from .maintenance import MaintenanceReport, SiteMaintainer
+from .regen import RegeneratingSite, RegenReport
 from .propagation import (
     DataOrigin,
     EditPropagator,
@@ -68,6 +70,9 @@ __all__ = [
     "NodeInstance",
     "Not",
     "PageServer",
+    "RefreshResult",
+    "RegenReport",
+    "RegeneratingSite",
     "SiteMaintainer",
     "Or",
     "PathAtom",

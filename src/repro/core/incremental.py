@@ -31,8 +31,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SiteDefinitionError
 from ..graph import Atom, AtomType, Graph, Oid
+from ..graph.delta import GraphDelta
 from ..struql.ast import Const, Program, Query, SkolemTerm, Var
 from ..struql.eval import Binding, QueryEngine, Value
+from ..struql.footprint import Footprint
 from ..struql.parser import parse
 from .schema import NS, SchemaCreation, SchemaEdge, SiteSchema
 
@@ -67,12 +69,38 @@ ExpandedEdge = Tuple[str, EdgeTarget]
 
 @dataclass
 class ClickMetrics:
-    """Counters for experiment E6."""
+    """Counters for experiment E6 and the incremental-maintenance path."""
 
     expansions: int = 0
     queries_evaluated: int = 0
     cache_hits: int = 0
     lookahead_prefetches: int = 0
+    #: lookahead prefetches skipped because the target was fully cached
+    lookahead_skipped: int = 0
+    #: cache entries dropped by footprint-vs-delta intersection
+    fine_invalidations: int = 0
+    #: cache entries that survived a delta refresh (footprint untouched)
+    entries_retained: int = 0
+    #: whole-cache flushes (explicit invalidate, or delta log truncated)
+    coarse_invalidations: int = 0
+
+
+@dataclass
+class RefreshResult:
+    """What :meth:`DynamicSite.refresh` did with one delta."""
+
+    #: the delta applied, or None when the log was truncated (coarse)
+    delta: Optional[GraphDelta]
+    #: True when everything was flushed instead of intersected
+    coarse: bool
+    #: owners of dropped expansion entries (for page-level invalidation)
+    dropped_instances: List[NodeInstance] = field(default_factory=list)
+    #: functions whose instance lists were dropped
+    dropped_functions: List[str] = field(default_factory=list)
+    #: cache entries that survived
+    retained: int = 0
+    #: cache entries dropped
+    dropped: int = 0
 
 
 class DynamicSite:
@@ -96,18 +124,76 @@ class DynamicSite:
         self.lookahead = lookahead
         self.metrics = ClickMetrics()
         self._engine = QueryEngine(data_graph)
-        self._edge_cache: Dict[Tuple[int, InstanceArgs], List[ExpandedEdge]] = {}
-        self._instance_cache: Dict[str, List[NodeInstance]] = {}
+        #: key -> (expanded edges, read footprint, owning instance)
+        self._edge_cache: Dict[
+            Tuple[int, InstanceArgs], Tuple[List[ExpandedEdge], Footprint, NodeInstance]
+        ] = {}
+        #: function -> (instances, read footprint of the creation queries)
+        self._instance_cache: Dict[str, Tuple[List[NodeInstance], Footprint]] = {}
+        #: data-graph epoch the caches are consistent with
+        self._synced_epoch = data_graph.epoch
 
     def invalidate(self) -> None:
-        """Drop cached click results after a data-graph mutation.
+        """Coarse invalidation: drop every cached click result.
 
         The engine itself needs nothing: its statistics and plans are
         keyed by the graph's mutation epoch and refresh on the next
-        query.  Only the materialized expansion caches must go.
+        query.  Only the materialized expansion caches must go.  Prefer
+        :meth:`refresh`, which drops only the entries the mutation can
+        have affected.
         """
+        if self._edge_cache or self._instance_cache:
+            self.metrics.coarse_invalidations += 1
         self._edge_cache.clear()
         self._instance_cache.clear()
+        self._synced_epoch = self.data_graph.epoch
+
+    def refresh(self) -> RefreshResult:
+        """Selective invalidation after data-graph mutations.
+
+        Computes the delta since the caches were last consistent and
+        drops only the entries whose read footprint the delta touches --
+        the warm cost of an edit scales with |delta|, not |site|.  Falls
+        back to :meth:`invalidate` when the bounded delta log no longer
+        reaches back (always sound).
+        """
+        current = self.data_graph.epoch
+        if current == self._synced_epoch:
+            return RefreshResult(delta=None, coarse=False)
+        delta = self.data_graph.delta_since(self._synced_epoch)
+        if delta is None:
+            self.invalidate()
+            return RefreshResult(delta=None, coarse=True)
+        result = RefreshResult(delta=delta, coarse=False)
+        for key, (edges, footprint, owner) in list(self._edge_cache.items()):
+            if footprint.touches(delta):
+                del self._edge_cache[key]
+                result.dropped += 1
+                result.dropped_instances.append(owner)
+            else:
+                result.retained += 1
+        for function, (instances, footprint) in list(self._instance_cache.items()):
+            if footprint.touches(delta):
+                del self._instance_cache[function]
+                result.dropped += 1
+                result.dropped_functions.append(function)
+            else:
+                result.retained += 1
+        self.metrics.fine_invalidations += result.dropped
+        self.metrics.entries_retained += result.retained
+        self._synced_epoch = current
+        return result
+
+    def is_fully_cached(self, instance: NodeInstance) -> bool:
+        """True when :meth:`expand` would be served entirely from cache."""
+        if not self.cache_enabled:
+            return False
+        for schema_edge in self.schema.edges_from(instance.function):
+            if len(schema_edge.source_args) != len(instance.args):
+                continue
+            if (id(schema_edge), instance.args) not in self._edge_cache:
+                return False
+        return True
 
     # ------------------------------------------------------------ #
     # entry points
@@ -121,22 +207,24 @@ class DynamicSite:
         """
         cached = self._instance_cache.get(function)
         if cached is not None:
-            return cached
+            return cached[0]
         creations = self.schema.creations_of(function)
         if not creations:
             raise SiteDefinitionError(
                 f"{function!r} is not a Skolem function of this site definition"
             )
         found: Dict[NodeInstance, None] = {}
-        for creation in creations:
-            self.metrics.queries_evaluated += 1
-            for row in self._engine.bindings(list(creation.conditions)):
-                args = _project_args(creation.args, row)
-                if args is not None:
-                    found.setdefault(NodeInstance(function, args), None)
+        footprint = Footprint()
+        with self._engine.record_into(footprint):
+            for creation in creations:
+                self.metrics.queries_evaluated += 1
+                for row in self._engine.bindings(list(creation.conditions)):
+                    args = _project_args(creation.args, row)
+                    if args is not None:
+                        found.setdefault(NodeInstance(function, args), None)
         instances = list(found)
         if self.cache_enabled:
-            self._instance_cache[function] = instances
+            self._instance_cache[function] = (instances, footprint)
         return instances
 
     def roots(self) -> List[NodeInstance]:
@@ -172,7 +260,7 @@ class DynamicSite:
             cached = self._edge_cache.get(key)
             if cached is not None:
                 self.metrics.cache_hits += 1
-                return cached
+                return cached[0]
         seed: Binding = {}
         consistent = True
         for name, value in zip(schema_edge.source_args, instance.args):
@@ -181,15 +269,19 @@ class DynamicSite:
                 break
             seed[name] = value
         edges: List[ExpandedEdge] = []
+        footprint = Footprint()
         if consistent:
             self.metrics.queries_evaluated += 1
-            for row in self._engine.bindings(list(schema_edge.conditions), initial=[seed]):
-                rendered = self._edge_from_row(schema_edge, row)
-                if rendered is not None:
-                    edges.append(rendered)
+            with self._engine.record_into(footprint):
+                for row in self._engine.bindings(
+                    list(schema_edge.conditions), initial=[seed]
+                ):
+                    rendered = self._edge_from_row(schema_edge, row)
+                    if rendered is not None:
+                        edges.append(rendered)
         edges = _dedupe_edges(edges)
         if self.cache_enabled:
-            self._edge_cache[key] = edges
+            self._edge_cache[key] = (edges, footprint, instance)
         return edges
 
     def _edge_from_row(
@@ -271,7 +363,10 @@ class BrowseSession:
     query evaluation.  With ``lookahead`` on, the session prefetches the
     expansions of every NodeInstance target of the just-visited page, so
     the next click is usually a cache hit (the paper's "precompute
-    lookahead results for queries of reachable nodes").
+    lookahead results for queries of reachable nodes").  Targets whose
+    expansions are already fully cached -- e.g. entries that survived a
+    delta refresh because the edit did not touch their footprint -- are
+    skipped rather than redundantly re-expanded.
     """
 
     def __init__(self, site: DynamicSite) -> None:
@@ -284,6 +379,9 @@ class BrowseSession:
         if self.site.lookahead:
             for _, target in edges:
                 if isinstance(target, NodeInstance):
+                    if self.site.is_fully_cached(target):
+                        self.site.metrics.lookahead_skipped += 1
+                        continue
                     self.site.metrics.lookahead_prefetches += 1
                     self.site.expand(target)
         return edges

@@ -93,6 +93,9 @@ class SiteMaintainer:
             program = Program(queries=[program])
         self.program = program
         self.data_graph = data_graph
+        # one warm engine for every maintenance pass: plans and the
+        # statistics snapshot carry across updates (epoch-invalidated)
+        self._engine = QueryEngine(data_graph)
         if site_graph is None:
             site_graph = self._evaluate_all()
         self.site_graph = site_graph
@@ -259,13 +262,13 @@ class SiteMaintainer:
     def _evaluate_all(self) -> Graph:
         from ..struql.eval import evaluate
 
-        return evaluate(self.program, self.data_graph)
+        return evaluate(self.program, self.data_graph, engine=self._engine)
 
     def _recompute_query(self, query: Query) -> None:
         """Re-evaluate one query into the existing site graph; Skolem
         memoization + set semantics make this purely additive and
         idempotent."""
-        engine = QueryEngine(self.data_graph)
+        engine = self._engine
         rows = engine.bindings(query.where, initial=[{}])
         _Constructor(self.site_graph, Metrics(), self.data_graph).run(
             query, rows, engine
@@ -278,7 +281,7 @@ class SiteMaintainer:
         new_members: List[Tuple[str, Oid]],
     ) -> None:
         """Delta-seeded evaluation of a root block whose condition matched."""
-        engine = QueryEngine(self.data_graph)
+        engine = self._engine
         all_rows: List[Binding] = []
         for index, condition in enumerate(query.where):
             seeds = self._seeds_for(condition, new_edges, new_members)

@@ -26,14 +26,14 @@ correctness contract for dynamic evaluation.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..errors import SiteDefinitionError, TemplateResolutionError
 from ..graph import Atom, Graph, Oid
 from ..struql.ast import Program, Query
 from ..template import Renderer, Template, TemplateSet
 from ..template.eval import PageRegistry
-from .incremental import DynamicSite, NodeInstance
+from .incremental import DynamicSite, NodeInstance, RefreshResult
 
 
 class LazySiteGraph(Graph):
@@ -53,6 +53,8 @@ class LazySiteGraph(Graph):
         self._instances: Dict[Oid, NodeInstance] = {}
         self._materialized: Dict[Oid, None] = {}
         self.expansions = 0
+        #: when set, every node read is recorded here (page dep tracking)
+        self._read_log: Optional[Set[Oid]] = None
 
     # ------------------------------------------------------------ #
     # instance bookkeeping
@@ -69,6 +71,8 @@ class LazySiteGraph(Graph):
     # lazy materialization
 
     def _ensure(self, oid: Oid) -> None:
+        if self._read_log is not None:
+            self._read_log.add(oid)
         if oid in self._materialized:
             return
         self._materialized[oid] = None
@@ -94,6 +98,19 @@ class LazySiteGraph(Graph):
                 if isinstance(target, Oid):
                     self.add_node(target)
                 self.add_edge(oid, label, target)
+
+    def demote(self, oid: Oid) -> None:
+        """De-materialize one node: drop its copied out-edges so the next
+        touch re-runs its incremental queries (or re-copies it from the
+        data graph).  Incoming edges from other materialized nodes are
+        kept -- the node itself still exists, only its expansion is
+        stale."""
+        if oid not in self._materialized:
+            return
+        del self._materialized[oid]
+        if Graph.has_node(self, oid):
+            for label, target in list(Graph.out_edges(self, oid)):
+                self.remove_edge(oid, label, target)
 
     # ------------------------------------------------------------ #
     # read accessors used by the renderer / template selection
@@ -121,6 +138,8 @@ class LazySiteGraph(Graph):
     def collections_of(self, oid: Oid) -> List[str]:
         """Collection membership is derived from the site schema's collect
         clauses (for Skolem nodes) or the data graph (for data nodes)."""
+        if self._read_log is not None:
+            self._read_log.add(oid)
         instance = self._instances.get(oid)
         if instance is not None:
             return [
@@ -156,7 +175,12 @@ class PageServer(PageRegistry):
         self._renderer = Renderer(self.graph, registry=self)
         self._paths: Dict[str, Oid] = {}
         self._hrefs: Dict[Oid, str] = {}
+        #: path -> (rendered HTML, site-graph oids the render read)
+        self._page_cache: Dict[str, Tuple[str, Set[Oid]]] = {}
         self.requests = 0
+        self.page_cache_hits = 0
+        self.pages_invalidated = 0
+        self.pages_retained = 0
         roots = self.dynamic.roots()
         if not roots:
             raise SiteDefinitionError(
@@ -198,28 +222,75 @@ class PageServer(PageRegistry):
         if oid is None:
             raise KeyError(f"no page at {path!r}")
         self.requests += 1
-        template = self.templates.resolve(self.graph, oid)
-        if template is None:
-            raise TemplateResolutionError(f"no template for page object {oid}")
-        return self._renderer.render(template, oid)
+        cached = self._page_cache.get(path)
+        if cached is not None:
+            self.page_cache_hits += 1
+            return cached[0]
+        reads: Set[Oid] = set()
+        previous_log = self.graph._read_log
+        self.graph._read_log = reads
+        try:
+            template = self.templates.resolve(self.graph, oid)
+            if template is None:
+                raise TemplateResolutionError(f"no template for page object {oid}")
+            html = self._renderer.render(template, oid)
+        finally:
+            self.graph._read_log = previous_log
+        self._page_cache[path] = (html, reads)
+        return html
 
     def known_paths(self) -> List[str]:
         """Paths discovered so far (grows as pages are served)."""
         return sorted(self._paths)
+
+    def refresh(self) -> RefreshResult:
+        """Selective invalidation after data-graph mutations.
+
+        Asks the :class:`DynamicSite` for the delta since the caches
+        were last consistent, then (a) de-materializes only the lazy
+        site-graph nodes whose expansions the delta touched and (b)
+        drops only the cached pages whose recorded read set intersects
+        those nodes.  Unaffected pages keep serving their cached bytes
+        -- the warm cost of an edit scales with |delta|, not |site|.
+        Falls back to the coarse :meth:`invalidate` when the bounded
+        delta log no longer reaches back.
+        """
+        result = self.dynamic.refresh()
+        if result.coarse:
+            self._coarse_reset()
+            return result
+        delta = result.delta
+        if delta is None:
+            return result
+        affected: Set[Oid] = {owner.oid() for owner in result.dropped_instances}
+        affected |= delta.touched_oids()
+        for oid in affected:
+            self.graph.demote(oid)
+        for path, (_, deps) in list(self._page_cache.items()):
+            if deps & affected:
+                del self._page_cache[path]
+                self.pages_invalidated += 1
+            else:
+                self.pages_retained += 1
+        return result
 
     def invalidate(self) -> None:
         """Drop every cached expansion after the data graph changed.
 
         The server keeps answering on the same paths; the next request
         for each page re-runs its incremental queries against the
-        current data.  (A production system would invalidate
-        selectively; the maintenance module's delta analysis shows how.)
+        current data.  :meth:`refresh` is the selective variant -- it
+        drops only what a delta can have affected.
 
         The warm :class:`DynamicSite` -- its query engine, cached plans,
         and statistics snapshot -- survives; only its materialized
         expansion caches and the lazily built site graph are dropped.
         """
         self.dynamic.invalidate()
+        self._coarse_reset()
+
+    def _coarse_reset(self) -> None:
+        self._page_cache.clear()
         self.graph = LazySiteGraph(self.dynamic)
         self._renderer = Renderer(self.graph, registry=self)
         for oid in self._hrefs:

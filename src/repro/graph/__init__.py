@@ -3,6 +3,7 @@
 Public surface of the substrate every other Strudel component builds on.
 """
 
+from .delta import DeltaLog, GraphDelta
 from .dot import to_dot
 from .graph import Edge, Graph, Target
 from .oid import Oid, OidAllocator, SkolemRegistry, skolem_term_name
@@ -32,8 +33,10 @@ __all__ = [
     "AtomType",
     "AttributeStats",
     "CollectionSchema",
+    "DeltaLog",
     "Edge",
     "Graph",
+    "GraphDelta",
     "GraphSchema",
     "Oid",
     "OidAllocator",

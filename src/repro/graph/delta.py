@@ -1,0 +1,227 @@
+"""Structured mutation deltas: what changed in a graph, per epoch.
+
+The bare mutation ``epoch`` counter (PR 1) tells consumers *that* a graph
+changed, which forces every derived cache -- click-time expansions,
+compiled plans, statistics snapshots, served pages -- to be flushed
+wholesale on any edit.  This module records *what* changed, so a
+consumer that also knows what it *read* (a
+:class:`~repro.struql.footprint.Footprint`) can invalidate only the
+entries the edit can possibly affect.
+
+Two pieces:
+
+* :class:`DeltaLog` -- a bounded ring of per-mutation records the
+  :class:`~repro.graph.graph.Graph` appends to alongside every epoch
+  bump.  Bounded so an arbitrarily long-lived graph never grows an
+  unbounded history; when a consumer asks for a delta older than the
+  ring reaches, the answer is ``None`` and the consumer must fall back
+  to coarse invalidation (always sound).
+* :class:`GraphDelta` -- the aggregation of the records between two
+  epochs: edges and nodes added/removed, collection memberships
+  changed.  Consumers intersect it with read footprints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Set, Tuple, Union
+
+from .oid import Oid
+from .values import Atom
+
+Target = Union[Oid, Atom]
+Edge = Tuple[Oid, str, Target]
+
+#: Record kinds in the log.
+_EDGE_ADD = 0
+_EDGE_REMOVE = 1
+_NODE_ADD = 2
+_NODE_REMOVE = 3
+_MEMBER_ADD = 4
+_MEMBER_REMOVE = 5
+_COLLECTION_CREATE = 6
+
+
+class GraphDelta:
+    """Every structural change between ``base_epoch`` (exclusive) and
+    ``epoch`` (inclusive) of one graph.
+
+    The lists are in mutation order and *not* net effects: an edge added
+    and then removed appears in both lists.  That is exactly what
+    footprint intersection needs -- any entry that read either state
+    must be invalidated.
+    """
+
+    __slots__ = (
+        "base_epoch", "epoch",
+        "edges_added", "edges_removed",
+        "nodes_added", "nodes_removed",
+        "members_added", "members_removed",
+        "collections_created",
+        "_labels", "_collections",
+    )
+
+    def __init__(self, base_epoch: int, epoch: int) -> None:
+        self.base_epoch = base_epoch
+        self.epoch = epoch
+        self.edges_added: List[Edge] = []
+        self.edges_removed: List[Edge] = []
+        self.nodes_added: List[Oid] = []
+        self.nodes_removed: List[Oid] = []
+        self.members_added: List[Tuple[str, Oid]] = []
+        self.members_removed: List[Tuple[str, Oid]] = []
+        self.collections_created: List[str] = []
+        self._labels: Optional[Set[str]] = None
+        self._collections: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------ #
+    # summaries
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.edges_added or self.edges_removed
+            or self.nodes_added or self.nodes_removed
+            or self.members_added or self.members_removed
+            or self.collections_created
+        )
+
+    @property
+    def has_removals(self) -> bool:
+        """True when any edge, node, or membership was removed --
+        the non-monotone case several consumers treat conservatively."""
+        return bool(self.edges_removed or self.nodes_removed or self.members_removed)
+
+    def edge_changes(self) -> List[Edge]:
+        """Added then removed edges, in one list."""
+        return self.edges_added + self.edges_removed
+
+    def member_changes(self) -> List[Tuple[str, Oid]]:
+        return self.members_added + self.members_removed
+
+    def labels(self) -> Set[str]:
+        """Edge labels touched by any change (cached)."""
+        if self._labels is None:
+            self._labels = {label for _, label, _ in self.edges_added}
+            self._labels.update(label for _, label, _ in self.edges_removed)
+        return self._labels
+
+    def collections(self) -> Set[str]:
+        """Collection names touched by membership changes or creation."""
+        if self._collections is None:
+            self._collections = {name for name, _ in self.members_added}
+            self._collections.update(name for name, _ in self.members_removed)
+            self._collections.update(self.collections_created)
+        return self._collections
+
+    def touched_oids(self) -> Set[Oid]:
+        """Oids whose *own* state changed: sources of changed edges,
+        removed nodes, and re-collected members.  (Targets of changed
+        edges are not included -- their out-edges did not change.)"""
+        touched: Set[Oid] = {source for source, _, _ in self.edges_added}
+        touched.update(source for source, _, _ in self.edges_removed)
+        touched.update(self.nodes_removed)
+        touched.update(oid for _, oid in self.members_added)
+        touched.update(oid for _, oid in self.members_removed)
+        return touched
+
+    def size(self) -> int:
+        """Number of individual mutations aggregated."""
+        return (
+            len(self.edges_added) + len(self.edges_removed)
+            + len(self.nodes_added) + len(self.nodes_removed)
+            + len(self.members_added) + len(self.members_removed)
+            + len(self.collections_created)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphDelta epochs ({self.base_epoch}, {self.epoch}]: "
+            f"+{len(self.edges_added)}/-{len(self.edges_removed)} edges, "
+            f"+{len(self.nodes_added)}/-{len(self.nodes_removed)} nodes, "
+            f"+{len(self.members_added)}/-{len(self.members_removed)} members>"
+        )
+
+
+class DeltaLog:
+    """A bounded ring of per-mutation records.
+
+    Each record is ``(epoch, kind, a, b, c)``; ``since(epoch)``
+    aggregates everything newer than ``epoch`` into a
+    :class:`GraphDelta`, or returns ``None`` when the ring no longer
+    reaches back that far (the consumer must then invalidate coarsely).
+    """
+
+    __slots__ = ("maxlen", "_records", "_floor")
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self.maxlen = maxlen
+        self._records: Deque[Tuple[int, int, object, object, object]] = deque()
+        #: every mutation with epoch <= _floor has been evicted
+        self._floor = 0
+
+    def _append(self, epoch: int, kind: int, a: object, b: object = None,
+                c: object = None) -> None:
+        records = self._records
+        records.append((epoch, kind, a, b, c))
+        while len(records) > self.maxlen:
+            evicted = records.popleft()
+            self._floor = evicted[0]
+
+    # ------------------------------------------------------------ #
+    # recording (called by Graph mutators, after the epoch bump)
+
+    def edge_added(self, epoch: int, source: Oid, label: str, target: Target) -> None:
+        self._append(epoch, _EDGE_ADD, source, label, target)
+
+    def edge_removed(self, epoch: int, source: Oid, label: str, target: Target) -> None:
+        self._append(epoch, _EDGE_REMOVE, source, label, target)
+
+    def node_added(self, epoch: int, oid: Oid) -> None:
+        self._append(epoch, _NODE_ADD, oid)
+
+    def node_removed(self, epoch: int, oid: Oid) -> None:
+        self._append(epoch, _NODE_REMOVE, oid)
+
+    def member_added(self, epoch: int, name: str, oid: Oid) -> None:
+        self._append(epoch, _MEMBER_ADD, name, oid)
+
+    def member_removed(self, epoch: int, name: str, oid: Oid) -> None:
+        self._append(epoch, _MEMBER_REMOVE, name, oid)
+
+    def collection_created(self, epoch: int, name: str) -> None:
+        self._append(epoch, _COLLECTION_CREATE, name)
+
+    # ------------------------------------------------------------ #
+
+    def since(self, epoch: int, current_epoch: int) -> Optional[GraphDelta]:
+        """The aggregated delta for mutations with epoch > ``epoch``.
+
+        ``None`` when the log has evicted records newer than ``epoch``
+        (the delta would be incomplete).  An up-to-date consumer gets an
+        empty delta.
+        """
+        if epoch < self._floor:
+            return None
+        delta = GraphDelta(epoch, current_epoch)
+        for record_epoch, kind, a, b, c in self._records:
+            if record_epoch <= epoch:
+                continue
+            if kind == _EDGE_ADD:
+                delta.edges_added.append((a, b, c))  # type: ignore[arg-type]
+            elif kind == _EDGE_REMOVE:
+                delta.edges_removed.append((a, b, c))  # type: ignore[arg-type]
+            elif kind == _NODE_ADD:
+                delta.nodes_added.append(a)  # type: ignore[arg-type]
+            elif kind == _NODE_REMOVE:
+                delta.nodes_removed.append(a)  # type: ignore[arg-type]
+            elif kind == _MEMBER_ADD:
+                delta.members_added.append((a, b))  # type: ignore[arg-type]
+            elif kind == _MEMBER_REMOVE:
+                delta.members_removed.append((a, b))  # type: ignore[arg-type]
+            else:
+                delta.collections_created.append(a)  # type: ignore[arg-type]
+        return delta
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..errors import GraphError, UnknownObjectError
+from .delta import DeltaLog, GraphDelta
 from .oid import Oid, OidAllocator, SkolemRegistry
 from .values import Atom, from_python
 
@@ -65,6 +66,8 @@ class Graph:
         self._distinct_atoms = 0
         #: epoch-stamped IndexStatistics snapshot, owned by repository.indexes
         self._stats_cache: Optional[object] = None
+        #: bounded structured mutation history, one record per epoch bump
+        self._delta_log = DeltaLog()
         self.allocator = OidAllocator()
         self.skolems = SkolemRegistry()
 
@@ -81,6 +84,15 @@ class Graph:
     def _bump(self) -> None:
         self._epoch += 1
 
+    def delta_since(self, epoch: int) -> Optional[GraphDelta]:
+        """Everything that changed after ``epoch``, or ``None``.
+
+        ``None`` means the bounded delta log no longer reaches back that
+        far; the caller must fall back to coarse (flush-everything)
+        invalidation, which is always sound.
+        """
+        return self._delta_log.since(epoch, self._epoch)
+
     # ------------------------------------------------------------------ #
     # nodes
 
@@ -96,6 +108,7 @@ class Graph:
         if oid not in self._out:
             self._out[oid] = {}
             self._bump()
+            self._delta_log.node_added(self._epoch, oid)
         return oid
 
     def skolem(self, function: str, *args: object) -> Oid:
@@ -135,9 +148,15 @@ class Graph:
             self.remove_edge(source, label, oid)
         self._in.pop(oid, None)
         del self._out[oid]
-        for members in self._collections.values():
-            members.pop(oid, None)
+        dropped_from = [
+            name for name, members in self._collections.items() if oid in members
+        ]
+        for name in dropped_from:
+            del self._collections[name][oid]
         self._bump()
+        self._delta_log.node_removed(self._epoch, oid)
+        for name in dropped_from:
+            self._delta_log.member_removed(self._epoch, name, oid)
 
     # ------------------------------------------------------------------ #
     # edges
@@ -179,6 +198,7 @@ class Graph:
             values[stored] = values.get(stored, 0) + 1
         self._edge_count += 1
         self._bump()
+        self._delta_log.edge_added(self._epoch, source, label, stored)
         return stored
 
     def remove_edge(self, source: Oid, label: str, target: Target) -> None:
@@ -213,6 +233,7 @@ class Graph:
                     values[target] = count - 1
         self._edge_count -= 1
         self._bump()
+        self._delta_log.edge_removed(self._epoch, source, label, target)
 
     def has_edge(self, source: Oid, label: str, target: Target) -> bool:
         return (source, target) in self._by_label.get(label, {})
@@ -343,15 +364,19 @@ class Graph:
         if name not in self._collections:
             self._collections[name] = {}
             self._bump()
+            self._delta_log.collection_created(self._epoch, name)
 
     def add_to_collection(self, name: str, oid: Oid) -> None:
         """Add a node to a collection, creating the collection if needed."""
         if oid not in self._out:
             raise UnknownObjectError(oid)
-        members = self._collections.setdefault(name, {})
+        if name not in self._collections:
+            self.create_collection(name)
+        members = self._collections[name]
         if oid not in members:
             members[oid] = None
             self._bump()
+            self._delta_log.member_added(self._epoch, name, oid)
 
     def remove_from_collection(self, name: str, oid: Oid) -> None:
         members = self._collections.get(name)
@@ -359,6 +384,7 @@ class Graph:
             raise GraphError(f"{oid} is not in collection {name!r}")
         del members[oid]
         self._bump()
+        self._delta_log.member_removed(self._epoch, name, oid)
 
     def collection(self, name: str) -> List[Oid]:
         """Members of a collection (empty list if it does not exist)."""

@@ -2,7 +2,12 @@
 full indexing of schema and data."""
 
 from . import ddl
-from .indexes import IndexStatistics, SchemaIndex, graph_statistics
+from .indexes import (
+    IndexStatistics,
+    SchemaIndex,
+    graph_statistics,
+    statistics_refresh_counters,
+)
 from .store import Repository
 from .summary import LabelSummary, label_summary
 
@@ -14,4 +19,5 @@ __all__ = [
     "ddl",
     "graph_statistics",
     "label_summary",
+    "statistics_refresh_counters",
 ]

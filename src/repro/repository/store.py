@@ -115,13 +115,23 @@ class Repository:
     def schema_index(self, name: str) -> SchemaIndex:
         """The schema index (collection and attribute names) of a graph.
 
-        Cached per (graph identity, mutation epoch); any mutation of the
-        graph invalidates the entry.
+        Cached per (graph identity, mutation epoch).  A stale entry is
+        first *patched* from the graph's delta log (the common
+        add-edge/add-collection case appends at most one name); only
+        removals -- which can retire a label -- or a truncated log force
+        a rebuild from the raw indexes.
         """
         graph = self.fetch(name)
         cached = self._schema_cache.get(name)
-        if cached is not None and cached[0] == id(graph) and cached[1] == graph.epoch:
-            return cached[2]
+        if cached is not None and cached[0] == id(graph):
+            if cached[1] == graph.epoch:
+                return cached[2]
+            delta = graph.delta_since(cached[1])
+            if delta is not None:
+                patched = cached[2].advanced(delta)
+                if patched is not None:
+                    self._schema_cache[name] = (id(graph), graph.epoch, patched)
+                    return patched
         index = SchemaIndex.from_graph(graph)
         self._schema_cache[name] = (id(graph), graph.epoch, index)
         return index

@@ -51,6 +51,7 @@ from .builtins import (
 )
 from .eval import Binding, Metrics, QueryEngine, Value, evaluate, query_bindings
 from .explain import explain
+from .footprint import Footprint, path_alphabet
 from .optimizer import estimate_cost, order_conditions
 from .parser import parse, parse_query, validate_query
 from .paths import compile_path, path_exists, reverse_expr, sources_to, targets_from
@@ -67,6 +68,7 @@ __all__ = [
     "Condition",
     "Const",
     "EdgeCond",
+    "Footprint",
     "LabelIs",
     "LabelPredicate",
     "LinkClause",
@@ -100,6 +102,7 @@ __all__ = [
     "label",
     "order_conditions",
     "parse",
+    "path_alphabet",
     "seq",
     "skolem",
     "star",

@@ -57,6 +57,7 @@ from .ast import (
     SkolemTerm,
     Var,
 )
+from .footprint import Footprint, path_alphabet
 from .optimizer import order_conditions, shared_not_variables
 from .parser import parse
 from .paths import NFA, compile_path, path_exists, reverse_expr, sources_to, targets_from
@@ -212,6 +213,25 @@ class _Frame:
         return out
 
 
+class _FootprintScope:
+    """Swaps a :class:`QueryEngine`'s active footprint recorder in and out."""
+
+    __slots__ = ("_engine", "_footprint", "_previous")
+
+    def __init__(self, engine: "QueryEngine", footprint: Optional[Footprint]) -> None:
+        self._engine = engine
+        self._footprint = footprint
+        self._previous: Optional[Footprint] = None
+
+    def __enter__(self) -> Optional[Footprint]:
+        self._previous = self._engine.footprint
+        self._engine.footprint = self._footprint
+        return self._footprint
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._engine.footprint = self._previous
+
+
 class QueryEngine:
     """Evaluates where-clauses over one graph.
 
@@ -244,6 +264,14 @@ class QueryEngine:
         self._seen_stats: Optional[IndexStatistics] = None
         self.metrics = metrics if metrics is not None else Metrics()
         self.plan_cache = plan_cache if plan_cache is not None else global_plan_cache()
+        #: when set, every condition evaluated records its semantic
+        #: dependence here (see :mod:`repro.struql.footprint`)
+        self.footprint: Optional[Footprint] = None
+
+    def record_into(self, footprint: Optional[Footprint]) -> "_FootprintScope":
+        """Context manager: record reads into ``footprint`` for the
+        duration (restoring whatever recorder was active before)."""
+        return _FootprintScope(self, footprint)
 
     @property
     def stats(self) -> IndexStatistics:
@@ -354,6 +382,12 @@ class QueryEngine:
     ) -> Iterator[Row]:
         index = frame.slots[condition.var.name]
         value = row[index]
+        footprint = self.footprint
+        if footprint is not None:
+            if value is _UNSET:
+                footprint.collection_scans.add(condition.collection)
+            elif isinstance(value, Oid):
+                footprint.membership_reads.add((condition.collection, value))
         members = self.graph.collection(condition.collection)
         if value is not _UNSET:
             if self.use_indexes:
@@ -408,6 +442,27 @@ class QueryEngine:
                 target_value = row[slot]  # type: ignore[assignment]
         arc_index = slots[arc_var] if arc_var is not None else None
         set_source = source_value is None
+
+        footprint = self.footprint
+        if footprint is not None:
+            # Semantic dependence of this bound/unbound pattern; recorded
+            # before the index-vs-scan branch so both modes agree.
+            if source_value is not None:
+                if isinstance(source_value, Oid):
+                    if label_value is not None:
+                        footprint.edge_reads.add((source_value, label_value))
+                    else:
+                        footprint.oid_reads_all.add(source_value)
+            elif target_value is not None:
+                if isinstance(target_value, Oid):
+                    footprint.value_probes.add((target_value, label_value))
+                else:
+                    for probe_atom in _coercion_probes(target_value):
+                        footprint.value_probes.add((probe_atom, label_value))
+            elif label_value is not None:
+                footprint.label_scans.add(label_value)
+            else:
+                footprint.all_edges = True
 
         def emit(source: Oid, label: str, edge_target: Target) -> Iterator[Row]:
             new = list(row)
@@ -509,6 +564,24 @@ class QueryEngine:
                 target_index = slot
             else:
                 target_value = row[slot]  # type: ignore[assignment]
+
+        footprint = self.footprint
+        if footprint is not None:
+            # Conservative: a path depends on its whole label alphabet
+            # (any edge it could traverse) plus zero-length existence
+            # checks on its endpoints; wildcards widen to all edges.
+            if source_value is None and target_value is None:
+                footprint.all_edges = True
+            else:
+                alphabet = path_alphabet(condition.path)
+                if alphabet is None:
+                    footprint.all_edges = True
+                else:
+                    footprint.label_scans |= alphabet
+                if isinstance(source_value, Oid):
+                    footprint.node_checks.add(source_value)
+                if isinstance(target_value, Oid):
+                    footprint.node_checks.add(target_value)
 
         if source_value is not None:
             if not isinstance(source_value, Oid) or not self.graph.has_node(source_value):

@@ -1,0 +1,203 @@
+"""Read footprints: what a query evaluation depended on.
+
+A cached query result is stale only if the graph changed *where the
+query looked*.  While evaluating, the engine records a
+:class:`Footprint` -- the semantic dependence set of the result: which
+``(source, label)`` adjacency lists it read, which label extents and
+collections it scanned, which atomic values it probed in the reverse
+index.  A consumer holding a cached result then asks
+:meth:`Footprint.touches` whether a
+:class:`~repro.graph.delta.GraphDelta` intersects that set; if not, the
+cached result is still exact and survives the edit.
+
+The footprint is *semantic*, not physical: it is recorded from the
+bound/unbound pattern of each condition, before the index-vs-scan
+branch, so naive and indexed evaluation of the same query record the
+same footprint.  Coercing value probes are exact because
+``_coercion_probes`` enumerates the complete finite set of atoms a
+constant can match.
+
+Sound over-approximations used (each errs toward invalidating):
+
+* a regular-path condition depends on its whole label alphabet (any
+  edge with a label the path can traverse), not just the reachable
+  subgraph;
+* a wildcard anywhere (``true``, a label predicate, a both-unbound
+  path) marks the footprint ``all_edges`` -- any edge or node change
+  touches it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set, Tuple, Union
+
+from ..graph import Atom, Oid
+from .ast import Alternation, AnyLabel, Concat, LabelIs, LabelPredicate, PathExpr, Star
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..graph.delta import GraphDelta
+
+#: A reverse-index probe key: the probed target plus the label filter
+#: (``None`` = any label).
+ProbeKey = Tuple[Union[Oid, Atom], Optional[str]]
+
+
+def path_alphabet(expr: PathExpr) -> Optional[Set[str]]:
+    """The set of labels a path expression can traverse.
+
+    ``None`` means the alphabet is unbounded (``true`` or a label
+    predicate appears) and the dependence must be treated as all edges.
+    """
+    if isinstance(expr, LabelIs):
+        return {expr.label}
+    if isinstance(expr, (AnyLabel, LabelPredicate)):
+        return None
+    if isinstance(expr, (Concat, Alternation)):
+        parts = expr.parts if isinstance(expr, Concat) else expr.options
+        labels: Set[str] = set()
+        for part in parts:
+            inner = path_alphabet(part)
+            if inner is None:
+                return None
+            labels |= inner
+        return labels
+    if isinstance(expr, Star):
+        return path_alphabet(expr.inner)
+    return None  # unknown node type: be conservative
+
+
+class Footprint:
+    """The dependence set of one evaluation (or one cached entry).
+
+    Mutable: the engine appends to it while evaluating; consumers
+    freeze it implicitly by not evaluating into it again.
+    """
+
+    __slots__ = (
+        "edge_reads",
+        "oid_reads_all",
+        "label_scans",
+        "collection_scans",
+        "membership_reads",
+        "value_probes",
+        "node_checks",
+        "all_edges",
+    )
+
+    def __init__(self) -> None:
+        #: read ``targets(source, label)`` -- one adjacency list
+        self.edge_reads: Set[Tuple[Oid, str]] = set()
+        #: read *all* out-edges of a node (arc-variable conditions)
+        self.oid_reads_all: Set[Oid] = set()
+        #: scanned a whole label extent
+        self.label_scans: Set[str] = set()
+        #: scanned a whole collection
+        self.collection_scans: Set[str] = set()
+        #: probed one membership ``oid in collection``
+        self.membership_reads: Set[Tuple[str, Oid]] = set()
+        #: probed the reverse index for a value under a label filter
+        self.value_probes: Set[ProbeKey] = set()
+        #: tested existence of a node (paths: zero-length matches)
+        self.node_checks: Set[Oid] = set()
+        #: scanned everything -- any structural change invalidates
+        self.all_edges = False
+
+    # ------------------------------------------------------------ #
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the evaluation read nothing from the graph
+        (constant queries) -- such entries never go stale."""
+        return not (
+            self.all_edges
+            or self.edge_reads
+            or self.oid_reads_all
+            or self.label_scans
+            or self.collection_scans
+            or self.membership_reads
+            or self.value_probes
+            or self.node_checks
+        )
+
+    def merge(self, other: "Footprint") -> None:
+        """Union another footprint in (entries cached per group)."""
+        self.edge_reads |= other.edge_reads
+        self.oid_reads_all |= other.oid_reads_all
+        self.label_scans |= other.label_scans
+        self.collection_scans |= other.collection_scans
+        self.membership_reads |= other.membership_reads
+        self.value_probes |= other.value_probes
+        self.node_checks |= other.node_checks
+        self.all_edges = self.all_edges or other.all_edges
+
+    # ------------------------------------------------------------ #
+
+    def touches(self, delta: "GraphDelta") -> bool:
+        """Can this delta change a result with this footprint?
+
+        False guarantees the cached result is still byte-exact; True is
+        conservative (the entry *may* have changed).
+        """
+        if self.all_edges:
+            if (
+                delta.edges_added or delta.edges_removed
+                or delta.nodes_added or delta.nodes_removed
+            ):
+                return True
+        if self.node_checks:
+            for oid in delta.nodes_added:
+                if oid in self.node_checks:
+                    return True
+            for oid in delta.nodes_removed:
+                if oid in self.node_checks:
+                    return True
+        edge_reads = self.edge_reads
+        oid_reads_all = self.oid_reads_all
+        label_scans = self.label_scans
+        value_probes = self.value_probes
+        if edge_reads or oid_reads_all or label_scans or value_probes:
+            for source, label, target in delta.edge_changes():
+                if label in label_scans:
+                    return True
+                if source in oid_reads_all:
+                    return True
+                if (source, label) in edge_reads:
+                    return True
+                if value_probes and (
+                    (target, label) in value_probes
+                    or (target, None) in value_probes
+                ):
+                    return True
+        collection_scans = self.collection_scans
+        membership_reads = self.membership_reads
+        if collection_scans or membership_reads:
+            for name, oid in delta.member_changes():
+                if name in collection_scans:
+                    return True
+                if (name, oid) in membership_reads:
+                    return True
+        return False
+
+    def size(self) -> int:
+        """Number of recorded dependence atoms (diagnostics)."""
+        return (
+            len(self.edge_reads)
+            + len(self.oid_reads_all)
+            + len(self.label_scans)
+            + len(self.collection_scans)
+            + len(self.membership_reads)
+            + len(self.value_probes)
+            + len(self.node_checks)
+            + (1 if self.all_edges else 0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.all_edges:
+            return "<Footprint all-edges>"
+        return (
+            f"<Footprint {len(self.edge_reads)} edge reads, "
+            f"{len(self.oid_reads_all)} oid reads, "
+            f"{len(self.label_scans)} label scans, "
+            f"{len(self.collection_scans)} collection scans, "
+            f"{len(self.value_probes)} value probes>"
+        )

@@ -145,6 +145,15 @@ class Renderer:
             return str(len(values))
         if node.directives.order:
             values = self._sort(values, node.directives)
+        elif len(values) > 1 and all(isinstance(v, Oid) for v in values):
+            # canonical order for object-link lists: these are derived by
+            # query evaluation, whose row order shifts with the optimizer's
+            # statistics, and incremental maintenance appends late arrivals
+            # -- rendering must not depend on that insertion history or a
+            # maintained site could never be byte-identical to a fresh
+            # build.  Atom lists keep discovery order: it mirrors the data
+            # graph's edge order, which is meaningful (e.g. author lists).
+            values.sort(key=lambda v: v.name)
         if not values:
             return ""
         if not node.directives.enumerates:

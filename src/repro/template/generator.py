@@ -266,10 +266,15 @@ class HtmlGenerator(PageRegistry):
                 if oid in rendered:
                     continue
                 rendered[oid] = None
-                template = self._require_template(oid)
-                site.pages[self._filenames[oid]] = self._renderer.render(template, oid)
+                site.pages[self._filenames[oid]] = self._render_page(oid)
         site.filenames = dict(self._filenames)
         return site
+
+    def _render_page(self, oid: Oid) -> str:
+        """Render one page serially (subclass hook: the selective
+        regenerator overrides this to record per-page read sets)."""
+        template = self._require_template(oid)
+        return self._renderer.render(template, oid)
 
     def _require_template(self, oid: Oid) -> Template:
         template = self.templates.resolve(self.graph, oid)
