@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Chaos smoke run: drive the full pipeline through injected failures.
+
+The scenario mirrors the resilience acceptance test, as a standalone
+driver CI can run and archive:
+
+1. three sources feed the mediator -- one source hard-fails at every
+   wrap attempt, and ~10% of the bibliography is malformed;
+2. the mediator retries the dead source, trips its circuit breaker,
+   quarantines the bad records, and builds a *partial* warehouse;
+3. the warehouse persists crash-safely and reloads from disk;
+4. the page server serves every derivable page, then -- with the query
+   engine failing -- serves the homepage from last-known-good bytes;
+5. the resilience report and the fault plan's injection log are written
+   as JSON artifacts.
+
+Run:  REPRO_CHAOS_SEED=1337 python examples/chaos_smoke.py [output-dir]
+
+Exits non-zero if any degradation guarantee is violated.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.mediator import Mediator
+from repro.repository import Repository, ddl
+from repro.resilience import (
+    FaultPlan,
+    ManualClock,
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
+    chaos,
+)
+from repro.core import PageServer
+from repro.struql import parse
+from repro.workloads.bibliography import (
+    HOMEPAGE_QUERY,
+    generate_entries,
+    homepage_templates,
+)
+from repro.wrappers import BibtexWrapper, RelationalWrapper, StructuredFileWrapper, Table
+
+BAD_ENTRY = "@article{badentry, title = , year}\n"
+
+
+def build_mediator(repository: Repository, policy: ResiliencePolicy) -> Mediator:
+    mediator = Mediator(repository=repository, policy=policy)
+    mediator.add_source(
+        "pubs",
+        BibtexWrapper(generate_entries(10, seed=3) + BAD_ENTRY, source_name="pubs"),
+    )
+    mediator.add_source(
+        "people",
+        RelationalWrapper(
+            [Table("People", ["id", "name"], [["a", "Ann"], ["b", "Bob"]])],
+            key_columns={"People": "id"},
+            source_name="people",
+        ),
+    )
+    mediator.add_source(
+        "projects",
+        StructuredFileWrapper(
+            "%collection Projects\nname: strudel\n", source_name="projects"
+        ),
+    )
+    for name in ("pubs", "people", "projects"):
+        mediator.import_source(name)
+    return mediator
+
+
+def main(output_dir: str = "chaos-out") -> int:
+    os.makedirs(output_dir, exist_ok=True)
+    clock = ManualClock()
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=2, clock=clock),
+        breaker_threshold=1,
+        min_sources=1,
+        clock=clock,
+    )
+    plan = FaultPlan.from_env(default_seed=1337).fail_always("wrapper.structured.wrap")
+    failures = []
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        repository = Repository(store_dir)
+        mediator = build_mediator(repository, policy)
+        with chaos.installed(plan):
+            warehouse = mediator.ingest("data")
+        report = mediator.last_report
+
+        if not report.partial:
+            failures.append("warehouse was not marked partial")
+        if "projects" not in report.failed_sources:
+            failures.append("dead source was not recorded as failed")
+        if report.quarantine.get("pubs", {}).get("quarantined") != 1:
+            failures.append("malformed record was not quarantined")
+        if mediator.breaker_states()["projects"]["state"] != "open":
+            failures.append("circuit breaker did not open")
+
+        # the degraded generation persisted crash-safely and reloads clean
+        reloaded = Repository(store_dir).fetch("data")
+        if ddl.dumps(reloaded) != ddl.dumps(warehouse):
+            failures.append("persisted warehouse does not round-trip")
+
+        # every derivable page still serves
+        server = PageServer(parse(HOMEPAGE_QUERY), warehouse, homepage_templates())
+        homepage = server.get("/")
+        for path in list(server.known_paths()):
+            server.get(path)
+        if server.degradations:
+            failures.append("healthy serve unexpectedly degraded")
+
+        # with the engine failing, the homepage degrades to stale bytes
+        server.invalidate()
+        with chaos.installed(FaultPlan(seed=plan.seed).fail_always("engine.bindings")):
+            degraded = server.get("/")
+        if degraded != homepage:
+            failures.append("stale homepage differs from last-known-good bytes")
+        if not server.degradations or server.degradations[-1]["kind"] != "stale":
+            failures.append("stale serve was not recorded")
+
+        resilience = (
+            ResilienceReport()
+            .record_mediation(mediator)
+            .record_server(server)
+            .record_recoveries()
+        )
+        resilience.save(os.path.join(output_dir, "resilience.json"))
+        with open(
+            os.path.join(output_dir, "fault-plan.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(plan.report(), handle, indent=2, sort_keys=True)
+
+    print(f"chaos seed: {plan.seed}")
+    for line in resilience.summary_lines():
+        print(f"  {line}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos smoke: all degradation guarantees held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

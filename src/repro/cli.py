@@ -97,31 +97,85 @@ def _load_templates(directory: str) -> TemplateSet:
 # subcommands
 
 
-def _cmd_wrap(args: argparse.Namespace) -> int:
-    kind = args.kind
+def _make_wrapper(kind: str, source: str):
+    """Build the wrapper for one source file (or directory, for html)."""
     if kind == "bibtex":
-        graph = BibtexWrapper(_read(args.source)).wrap()
-    elif kind == "csv":
-        name = os.path.basename(args.source).rsplit(".", 1)[0]
-        graph = RelationalWrapper([Table.from_csv(name, _read(args.source))]).wrap()
-    elif kind == "structured":
-        graph = StructuredFileWrapper(_read(args.source)).wrap()
-    elif kind == "xml":
-        graph = XmlWrapper(_read(args.source)).wrap()
-    elif kind == "html":
+        return BibtexWrapper(_read(source), source_name=source)
+    if kind == "csv":
+        name = os.path.basename(source).rsplit(".", 1)[0]
+        return RelationalWrapper(
+            [Table.from_csv(name, _read(source), strict=False)],
+            source_name=source,
+        )
+    if kind == "structured":
+        return StructuredFileWrapper(_read(source), source_name=source)
+    if kind == "xml":
+        return XmlWrapper(_read(source), source_name=source)
+    if kind == "html":
         pages = {}
-        root = args.source
-        for base, _, files in os.walk(root):
+        for base, _, files in os.walk(source):
             for filename in files:
                 if filename.endswith((".html", ".htm")):
                     path = os.path.join(base, filename)
-                    pages[os.path.relpath(path, root)] = _read(path)
-        graph = HtmlSiteWrapper(pages).wrap()
-    else:
-        graph = DdlWrapper(_read(args.source)).wrap()
+                    pages[os.path.relpath(path, source)] = _read(path)
+        return HtmlSiteWrapper(pages, source_name=source)
+    if kind == "ddl":
+        return DdlWrapper(_read(source), source_name=source)
+    raise ValueError(f"unknown wrapper kind {kind!r}")
+
+
+def _cmd_wrap(args: argparse.Namespace) -> int:
+    graph = _make_wrapper(args.kind, args.source).wrap()
     _write_output(ddl.dumps(graph), args.output)
     print(f"wrapped {args.source}: {graph.stats()}", file=sys.stderr)
     return 0
+
+
+def _parse_source_spec(spec: str):
+    """Parse one ``--source NAME=KIND:PATH`` argument."""
+    name, sep, rest = spec.partition("=")
+    kind, colon, path = rest.partition(":")
+    if not sep or not colon or not name or not path:
+        raise ValueError(
+            f"bad --source {spec!r}: expected NAME=KIND:PATH "
+            f"(e.g. pubs=bibtex:pubs.bib)"
+        )
+    if kind not in _WRAPPERS:
+        raise ValueError(
+            f"bad --source {spec!r}: unknown kind {kind!r} "
+            f"(choose from {', '.join(_WRAPPERS)})"
+        )
+    return name, kind, path
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Resilient multi-source ingest: build a warehouse from whatever
+    survives, report what degraded, and say so in the exit code."""
+    from .mediator import Mediator
+    from .repository import Repository
+    from .resilience import ResiliencePolicy, ResilienceReport, WrapPolicy
+
+    policy = ResiliencePolicy(
+        wrap=WrapPolicy.tolerant(args.max_errors),
+        min_sources=args.min_sources,
+    )
+    repository = Repository(args.repository) if args.repository else None
+    mediator = Mediator(repository, policy=policy)
+    for spec in args.source:
+        name, kind, path = _parse_source_spec(spec)
+        mediator.add_source(name, _make_wrapper(kind, path))
+        mediator.import_source(name)
+    warehouse = mediator.materialize(args.name)
+    report = (
+        ResilienceReport().record_mediation(mediator).record_recoveries()
+    )
+    _write_output(ddl.dumps(warehouse), args.output)
+    if args.report:
+        report.save(args.report)
+    for line in report.summary_lines():
+        print(line, file=sys.stderr)
+    print(f"ingested {args.name}: {warehouse.stats()}", file=sys.stderr)
+    return 1 if (report.partial or report.stale) else 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -275,6 +329,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"stats refresh: full_snapshots={refreshes['stats_full_snapshots']} "
         f"delta_refreshes={refreshes['stats_delta_refreshes']}"
     )
+    if args.resilience is not None:
+        from .resilience import ResilienceReport
+
+        if args.resilience:
+            report = ResilienceReport.load(args.resilience)
+        else:
+            report = ResilienceReport().record_recoveries()
+        print("resilience:")
+        for line in report.summary_lines():
+            print(f"  {line}")
     return 0
 
 
@@ -377,7 +441,34 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--query",
                        help="STRUQL text or file: also report cold/warm "
                             "query-engine cache counters for its where clause")
+    stats.add_argument("--resilience", nargs="?", const="", metavar="REPORT",
+                       help="also print resilience counters (quarantines, "
+                            "breaker states, recovery events); give the "
+                            "JSON report written by 'ingest --report' to "
+                            "summarize a past run")
     stats.set_defaults(func=_cmd_stats)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="resilient multi-source ingest into one warehouse DDL",
+    )
+    ingest.add_argument("--source", action="append", required=True,
+                        metavar="NAME=KIND:PATH",
+                        help="a named source (repeatable), e.g. "
+                             "pubs=bibtex:pubs.bib")
+    ingest.add_argument("-o", "--output", help="warehouse DDL (default stdout)")
+    ingest.add_argument("--name", default="data", help="warehouse graph name")
+    ingest.add_argument("--max-errors", type=int, default=None, metavar="N",
+                        help="per-source quarantine budget: abort a source "
+                             "after N bad records (default: unlimited)")
+    ingest.add_argument("--min-sources", type=int, default=1, metavar="N",
+                        help="minimum surviving sources (default 1)")
+    ingest.add_argument("--repository", metavar="DIR",
+                        help="repository directory for generational "
+                             "persistence and stale fallback")
+    ingest.add_argument("--report", metavar="FILE",
+                        help="write the resilience report as JSON")
+    ingest.set_defaults(func=_cmd_ingest)
 
     lint = sub.add_parser("lint", help="check templates against a site schema")
     lint.add_argument("--query", required=True, help="STRUQL site definition")
@@ -412,8 +503,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (StrudelError, OSError) as error:
-        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+    except (StrudelError, OSError, ValueError, KeyError) as error:
+        # one-line diagnostic, never a traceback
+        detail = str(error) or type(error).__name__
+        print(f"repro {args.command}: error: {detail}", file=sys.stderr)
         return 2
 
 

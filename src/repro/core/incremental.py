@@ -83,6 +83,10 @@ class ClickMetrics:
     entries_retained: int = 0
     #: whole-cache flushes (explicit invalidate, or delta log truncated)
     coarse_invalidations: int = 0
+    #: requests answered with a stale last-known-good page after a failure
+    degraded_serves: int = 0
+    #: requests answered with a structured error page (no stale copy)
+    error_pages: int = 0
 
 
 @dataclass

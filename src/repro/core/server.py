@@ -28,8 +28,11 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Set, Tuple, Union
 
-from ..errors import SiteDefinitionError, TemplateResolutionError
+import html as html_escape
+
+from ..errors import SiteDefinitionError, StrudelError, TemplateResolutionError
 from ..graph import Atom, Graph, Oid
+from ..resilience.chaos import ChaosFault
 from ..struql.ast import Program, Query
 from ..template import Renderer, Template, TemplateSet
 from ..template.eval import PageRegistry
@@ -177,6 +180,11 @@ class PageServer(PageRegistry):
         self._hrefs: Dict[Oid, str] = {}
         #: path -> (rendered HTML, site-graph oids the render read)
         self._page_cache: Dict[str, Tuple[str, Set[Oid]]] = {}
+        #: path -> last successfully rendered HTML; survives invalidation,
+        #: so a failing re-render can fall back to it
+        self._last_good: Dict[str, str] = {}
+        #: one entry per degraded response (stale page or error page)
+        self.degradations: List[Dict[str, str]] = []
         self.requests = 0
         self.page_cache_hits = 0
         self.pages_invalidated = 0
@@ -211,12 +219,18 @@ class PageServer(PageRegistry):
 
     # ------------------------------------------------------------ #
 
-    def get(self, path: str) -> str:
+    def get(self, path: str, strict: bool = False) -> str:
         """Render the page at ``path``; raises KeyError for unknown paths.
 
         This is one "click": only the incremental queries of the
         requested node (and of objects its template embeds or links)
         run.
+
+        A render or evaluation failure never leaks a traceback to the
+        requester: the server answers with the page's last-known-good
+        bytes when it has them, else a structured error page, recording
+        the degradation in ``degradations`` and the click metrics.  Pass
+        ``strict=True`` to re-raise instead (tests and debugging).
         """
         oid = self._paths.get(path)
         if oid is None:
@@ -234,10 +248,31 @@ class PageServer(PageRegistry):
             if template is None:
                 raise TemplateResolutionError(f"no template for page object {oid}")
             html = self._renderer.render(template, oid)
+        except (StrudelError, ChaosFault) as error:
+            if strict:
+                raise
+            return self._degrade(path, error)
         finally:
             self.graph._read_log = previous_log
         self._page_cache[path] = (html, reads)
+        self._last_good[path] = html
         return html
+
+    def _degrade(self, path: str, error: BaseException) -> str:
+        """Answer a failed render: stale last-known-good bytes when
+        available, else a structured error page.  Never a traceback."""
+        stale = self._last_good.get(path)
+        record = {
+            "path": path,
+            "error": f"{type(error).__name__}: {error}",
+            "kind": "stale" if stale is not None else "error-page",
+        }
+        self.degradations.append(record)
+        if stale is not None:
+            self.dynamic.metrics.degraded_serves += 1
+            return stale
+        self.dynamic.metrics.error_pages += 1
+        return _error_page(path, error)
 
     def known_paths(self) -> List[str]:
         """Paths discovered so far (grows as pages are served)."""
@@ -324,3 +359,21 @@ class PageServer(PageRegistry):
     def _path_for(oid: Oid) -> str:
         stem = re.sub(r"[^A-Za-z0-9_\-]+", "_", oid.name).strip("_") or "page"
         return f"/{stem}.html"
+
+
+def _error_page(path: str, error: BaseException) -> str:
+    """A minimal, structured "temporarily unavailable" page.
+
+    One line of sanitized diagnostic -- the error type and message,
+    HTML-escaped -- and never a traceback.
+    """
+    detail = html_escape.escape(f"{type(error).__name__}: {error}")
+    safe_path = html_escape.escape(path)
+    return (
+        "<html><head><title>Page temporarily unavailable</title></head>\n"
+        "<body>\n"
+        "<h1>Page temporarily unavailable</h1>\n"
+        f"<p>The page at <code>{safe_path}</code> could not be generated.</p>\n"
+        f"<p><small>{detail}</small></p>\n"
+        "</body></html>\n"
+    )

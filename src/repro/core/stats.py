@@ -39,6 +39,10 @@ class SiteStats:
     #: generated browsable site
     pages: int = 0
     sources: int = 0
+    #: resilience of the ingest that produced the data graph (not part
+    #: of the paper's E1 row): records quarantined and sources missing
+    quarantined_records: int = 0
+    missing_sources: int = 0
 
     def as_row(self) -> Dict[str, object]:
         """The row the E1 bench prints."""
@@ -61,9 +65,22 @@ def measure_site(
     site_graph: Optional[Graph] = None,
     generated: Optional[GeneratedSite] = None,
     sources: int = 0,
+    mediation: Optional[object] = None,
 ) -> SiteStats:
-    """Collect :class:`SiteStats` from whichever artifacts are at hand."""
+    """Collect :class:`SiteStats` from whichever artifacts are at hand.
+
+    ``mediation`` may be a :class:`~repro.mediator.MediationReport`; its
+    quarantine and missing-source counts are folded in.
+    """
     stats = SiteStats(site_name=site_name, sources=sources)
+    if mediation is not None:
+        quarantine = getattr(mediation, "quarantine", {}) or {}
+        stats.quarantined_records = sum(
+            int(q.get("quarantined", 0)) for q in quarantine.values()
+        )
+        stats.missing_sources = len(
+            getattr(mediation, "failed_sources", {}) or {}
+        ) + len(getattr(mediation, "skipped_sources", []) or [])
     stats.query_lines = program.line_count()
     stats.link_clauses = program.link_clause_count()
     stats.queries = len(program.queries)

@@ -41,6 +41,12 @@ class RepositoryError(StrudelError):
     """Problems in the data repository: missing graphs, bad storage files."""
 
 
+class RepositoryCorruptionError(RepositoryError):
+    """A stored graph file failed its integrity check (bad checksum,
+    truncated write).  The repository tries the previous good generation
+    before surfacing this to callers."""
+
+
 class DDLSyntaxError(RepositoryError):
     """Malformed Strudel data-definition-language input."""
 
@@ -51,7 +57,54 @@ class DDLSyntaxError(RepositoryError):
 
 
 class WrapperError(StrudelError):
-    """A source wrapper could not translate its input into a graph."""
+    """A source wrapper could not translate its input into a graph.
+
+    Carries the source name, a record locator ("entry p3 (line 12)",
+    "row 7", "page a.html") and the underlying cause when known, so a
+    failed ingest names the offending record instead of a bare parse
+    message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source_name: str = "",
+        locator: str = "",
+        cause: object = None,
+    ) -> None:
+        self.base_message = message
+        self.source_name = source_name
+        self.locator = locator
+        self.cause = cause
+        context = [part for part in (source_name, locator) if part]
+        super().__init__(": ".join(context + [message]))
+
+    def with_source(self, source_name: str) -> "WrapperError":
+        """A copy of this error attributed to ``source_name``."""
+        return type(self)(
+            self.base_message,
+            source_name=source_name,
+            locator=self.locator,
+            cause=self.cause,
+        )
+
+
+class QuarantineExceeded(WrapperError):
+    """A tolerant wrap blew its error budget.
+
+    More records failed than :class:`~repro.resilience.WrapPolicy`
+    allowed -- the source is more likely misconfigured than dirty, so
+    the load aborts.  Carries the quarantine report so far.
+    """
+
+    def __init__(self, source_name: str, count: int, budget: int, report: object = None) -> None:
+        super().__init__(
+            f"quarantined {count} records, more than the error budget of {budget}",
+            source_name=source_name,
+        )
+        self.count = count
+        self.budget = budget
+        self.report = report
 
 
 class MediatorError(StrudelError):

@@ -28,11 +28,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from ..errors import MediatorError
-from ..graph import Graph, Oid
+from ..errors import MediatorError, StrudelError
+from ..graph import Graph, Oid, boolean, integer, string
 from ..repository import Repository
+from ..resilience import (
+    ChaosFault,
+    CircuitBreaker,
+    ResiliencePolicy,
+    record_recovery_event,
+)
 from ..struql import Program, evaluate, parse
 from ..wrappers import Wrapper
+
+#: oid of the provenance object stamped into resilient warehouses
+PROVENANCE_OID = "mediation:provenance"
 
 
 @dataclass
@@ -44,22 +53,44 @@ class _ImportSpec:
 
 @dataclass
 class MediationReport:
-    """What a materialization did: per-source and per-mapping sizes."""
+    """What a materialization did: per-source and per-mapping sizes,
+    plus -- under a :class:`~repro.resilience.ResiliencePolicy` -- what
+    degraded along the way."""
 
     source_sizes: Dict[str, Dict[str, int]] = field(default_factory=dict)
     warehouse_size: Dict[str, int] = field(default_factory=dict)
     mappings_run: int = 0
     collections_imported: int = 0
+    #: source name -> final error string after retries gave up
+    failed_sources: Dict[str, str] = field(default_factory=dict)
+    #: sources not even tried because their circuit breaker was open
+    skipped_sources: List[str] = field(default_factory=list)
+    #: source name -> QuarantineReport.as_dict() of per-record failures
+    quarantine: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: source name -> failed attempts before success or giving up
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: the warehouse was built from a subset of the registered sources,
+    #: or with quarantined records
+    partial: bool = False
+    #: a previous warehouse generation was returned instead of a rebuild
+    stale: bool = False
 
 
 class Mediator:
     """Registers sources + GAV mappings; materializes the data graph."""
 
-    def __init__(self, repository: Optional[Repository] = None) -> None:
+    def __init__(
+        self,
+        repository: Optional[Repository] = None,
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> None:
         self.repository = repository
+        #: default resilience policy; ``None`` keeps mediation strict
+        self.policy = policy
         self._sources: Dict[str, Wrapper] = {}
         self._mappings: List[Program] = []
         self._imports: List[_ImportSpec] = []
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self.last_report: Optional[MediationReport] = None
 
     # ------------------------------------------------------------ #
@@ -99,38 +130,158 @@ class Mediator:
             _ImportSpec(source, collection, as_name or collection)
         )
 
+    def import_source(self, source: str) -> None:
+        """Copy *every* collection of a source into the warehouse verbatim.
+
+        The collection list is discovered at materialization time, so
+        it tracks whatever the wrapper produces on each run.
+        """
+        if source not in self._sources:
+            raise MediatorError(f"unknown source {source!r}")
+        self._imports.append(_ImportSpec(source, "*", ""))
+
+    # ------------------------------------------------------------ #
+    # circuit breakers
+
+    def breaker(self, name: str, policy: Optional[ResiliencePolicy] = None) -> CircuitBreaker:
+        """The circuit breaker guarding ``name`` (created on first use)."""
+        existing = self._breakers.get(name)
+        if existing is not None:
+            return existing
+        policy = policy or self.policy or ResiliencePolicy()
+        created = CircuitBreaker(
+            name,
+            failure_threshold=policy.breaker_threshold,
+            reset_timeout=policy.breaker_reset,
+            clock=policy.breaker_clock(),
+        )
+        self._breakers[name] = created
+        return created
+
+    def breaker_states(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every source's circuit breaker."""
+        return {name: breaker.snapshot() for name, breaker in self._breakers.items()}
+
     # ------------------------------------------------------------ #
     # materialization
 
-    def staging_graph(self) -> Graph:
-        """Wrap every source and merge side by side (collections prefixed)."""
+    def staging_graph(self, policy: Optional[ResiliencePolicy] = None) -> Graph:
+        """Wrap every source and merge side by side (collections prefixed).
+
+        With a resilience ``policy`` (argument or constructor default),
+        each source is wrapped under quarantine, retried with backoff,
+        and guarded by its circuit breaker; sources that still fail are
+        recorded in ``last_report`` and left out instead of raising.
+        """
+        policy = policy or self.policy
         staging = Graph("staging")
         report = MediationReport()
         for name, wrapper in self._sources.items():
-            wrapped = wrapper.wrap()
+            if policy is None:
+                wrapped = wrapper.wrap()
+            else:
+                wrapped = self._wrap_source(name, wrapper, policy, report)
+                if wrapped is None:
+                    continue
             report.source_sizes[name] = wrapped.stats()
             staging.merge(wrapped, collection_prefix=f"{name}.")
+        report.partial = bool(
+            report.failed_sources
+            or report.skipped_sources
+            or any(q.get("quarantined") for q in report.quarantine.values())
+        )
         self.last_report = report
         return staging
 
-    def materialize(self, name: str = "data") -> Graph:
-        """Build the warehouse data graph and store it in the repository."""
+    def _wrap_source(
+        self,
+        name: str,
+        wrapper: Wrapper,
+        policy: ResiliencePolicy,
+        report: MediationReport,
+    ) -> Optional[Graph]:
+        breaker = self.breaker(name, policy)
+        if not breaker.allow():
+            report.skipped_sources.append(name)
+            return None
+        retries = 0
+
+        def on_retry(attempt: int, error: BaseException, delay: float) -> None:
+            nonlocal retries
+            retries += 1
+
+        try:
+            wrapped = policy.retry.call(
+                lambda: wrapper.wrap(policy.wrap),
+                retry_on=(ChaosFault, OSError),
+                on_retry=on_retry,
+            )
+        except (StrudelError, ChaosFault, OSError) as error:
+            breaker.record_failure()
+            report.failed_sources[name] = f"{type(error).__name__}: {error}"
+            if retries:
+                report.retries[name] = retries
+            return None
+        breaker.record_success()
+        if retries:
+            report.retries[name] = retries
+        if wrapper.last_quarantine.count:
+            report.quarantine[name] = wrapper.last_quarantine.as_dict()
+        assert isinstance(wrapped, Graph)
+        return wrapped
+
+    def materialize(
+        self, name: str = "data", policy: Optional[ResiliencePolicy] = None
+    ) -> Graph:
+        """Build the warehouse data graph and store it in the repository.
+
+        Strict without a policy: any source failure propagates.  With one,
+        the warehouse is built from the surviving sources and stamped with
+        a provenance object (oid ``mediation:provenance``) recording
+        ``partial`` status and which sources are present or missing.  When
+        fewer than ``policy.min_sources`` survive, the repository's
+        previous generation of ``name`` is returned instead (``stale``);
+        with no fallback available, a :class:`MediatorError` is raised.
+        """
         if not self._sources:
             raise MediatorError("no sources registered")
-        staging = self.staging_graph()
+        policy = policy or self.policy
+        staging = self.staging_graph(policy)
         report = self.last_report
         assert report is not None
+        if policy is not None:
+            unavailable = set(report.failed_sources) | set(report.skipped_sources)
+            survivors = len(self._sources) - len(unavailable)
+            if survivors < policy.min_sources:
+                return self._stale_fallback(name, survivors, report, policy)
+        else:
+            unavailable = set()
         warehouse = Graph(name)
         for spec in self._imports:
-            self._run_import(staging, warehouse, spec)
-            report.collections_imported += 1
+            if spec.source in unavailable:
+                continue
+            for actual in self._expand_import(staging, spec):
+                self._run_import(staging, warehouse, actual)
+                report.collections_imported += 1
         for mapping in self._mappings:
             evaluate(mapping, staging, into=warehouse)
             report.mappings_run += 1
+        if policy is not None:
+            self._stamp_provenance(warehouse, report)
         report.warehouse_size = warehouse.stats()
         if self.repository is not None:
             self.repository.store(name, warehouse)
         return warehouse
+
+    def ingest(
+        self, name: str = "data", policy: Optional[ResiliencePolicy] = None
+    ) -> Graph:
+        """Resilient materialization: :meth:`materialize` under a policy.
+
+        The default policy quarantines bad records with no error budget,
+        retries flaky sources, and requires one surviving source.
+        """
+        return self.materialize(name, policy or self.policy or ResiliencePolicy())
 
     def refresh(self, name: str = "data") -> Graph:
         """Recompute the warehouse (sources are re-wrapped from scratch).
@@ -142,7 +293,57 @@ class Mediator:
         """
         return self.materialize(name)
 
+    def _stale_fallback(
+        self,
+        name: str,
+        survivors: int,
+        report: MediationReport,
+        policy: ResiliencePolicy,
+    ) -> Graph:
+        report.stale = True
+        report.partial = True
+        total = len(self._sources)
+        if self.repository is not None and name in self.repository:
+            record_recovery_event(
+                "mediator",
+                f"served previous warehouse {name!r}: only {survivors} of "
+                f"{total} sources available",
+            )
+            previous = self.repository.fetch(name)
+            report.warehouse_size = previous.stats()
+            return previous
+        raise MediatorError(
+            f"only {survivors} of {total} sources available "
+            f"(minimum {policy.min_sources}) "
+            f"and no previous warehouse to fall back to"
+        )
+
+    def _stamp_provenance(self, warehouse: Graph, report: MediationReport) -> None:
+        oid = warehouse.add_node(Oid(PROVENANCE_OID))
+        warehouse.add_edge(oid, "partial", boolean(report.partial))
+        missing = set(report.failed_sources) | set(report.skipped_sources)
+        for name in self._sources:
+            label = "missingSource" if name in missing else "source"
+            warehouse.add_edge(oid, label, string(name))
+        quarantined = sum(
+            int(q.get("quarantined", 0)) for q in report.quarantine.values()
+        )
+        if quarantined:
+            warehouse.add_edge(oid, "quarantined", integer(quarantined))
+
     # ------------------------------------------------------------ #
+
+    def _expand_import(self, staging: Graph, spec: _ImportSpec) -> List[_ImportSpec]:
+        """Resolve an :meth:`import_source` wildcard against the staging
+        graph; plain specs pass through unchanged."""
+        if spec.collection != "*":
+            return [spec]
+        prefix = f"{spec.source}."
+        return [
+            _ImportSpec(spec.source, name[len(prefix):], name[len(prefix):])
+            for name in staging.collection_names()
+            if name.startswith(prefix)
+        ]
 
     def _run_import(self, staging: Graph, warehouse: Graph, spec: _ImportSpec) -> None:
         staged_name = f"{spec.source}.{spec.collection}"

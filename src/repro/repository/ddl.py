@@ -29,9 +29,10 @@ them.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import re
-from typing import Dict, Iterator, List, TextIO, Tuple, Union
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from ..errors import DDLSyntaxError
 from ..graph import Atom, AtomType, Graph, Oid, parse_typed_value
@@ -338,3 +339,31 @@ def dumps(graph: Graph) -> str:
 def dump(graph: Graph, stream: TextIO) -> None:
     """Serialize a graph to an open text stream."""
     stream.write(dumps(graph))
+
+
+# -------------------------------------------------------------------- #
+# integrity checksums
+#
+# The header is a DDL comment, so dumps carrying one still load in any
+# reader of the plain grammar; readers that know the prefix can detect
+# truncated or corrupted files before parsing.
+
+CHECKSUM_PREFIX = "# repro-checksum: sha256="
+
+
+def checksum(text: str) -> str:
+    """Hex sha256 of the DDL body."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def with_checksum(text: str) -> str:
+    """Prefix DDL text with its integrity header."""
+    return f"{CHECKSUM_PREFIX}{checksum(text)}\n{text}"
+
+
+def split_checksum(text: str) -> Tuple[Optional[str], str]:
+    """Split a dump into (declared checksum or ``None``, body)."""
+    if text.startswith(CHECKSUM_PREFIX):
+        header, _, body = text.partition("\n")
+        return header[len(CHECKSUM_PREFIX):].strip(), body
+    return None, text

@@ -9,6 +9,13 @@ catalog of per-graph statistics.  It can also be used fully in memory
 The repository deliberately has *no schema catalog to enforce*: graphs are
 semistructured, and the queryable schema is whatever
 :class:`~repro.repository.indexes.SchemaIndex` observes.
+
+Persistence is crash-safe: every dump is checksummed and written
+tmp+fsync+rename, and the previous generation is kept as ``<name>.ddl.1``.
+A fault at any write point leaves either the old or the new generation
+fully intact; a corrupt primary (bad checksum, truncated parse) is
+recovered from the backup on load, with the recovery logged in
+:func:`repro.resilience.recovery_events`.
 """
 
 from __future__ import annotations
@@ -16,12 +23,15 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import RepositoryError
+from ..errors import RepositoryCorruptionError, RepositoryError
 from ..graph import Graph
+from ..resilience.chaos import maybe_fail
+from ..resilience.report import record_recovery_event
 from . import ddl
 from .indexes import IndexStatistics, SchemaIndex, graph_statistics
 
 _GRAPH_SUFFIX = ".ddl"
+_BACKUP_SUFFIX = ".1"
 
 
 class Repository:
@@ -50,7 +60,10 @@ class Repository:
         """Register ``graph`` under ``name`` (and write it to disk).
 
         Overwrites silently: storing is how graphs are refreshed after
-        mediation recomputes the warehouse.
+        mediation recomputes the warehouse.  The on-disk write is
+        atomic (tmp+fsync+rename) and the previous generation is kept
+        as ``<name>.ddl.1``, so a crash at any point preserves a fully
+        intact generation.
         """
         if not name:
             raise RepositoryError("graph name must be non-empty")
@@ -58,36 +71,70 @@ class Repository:
         self._graphs[name] = graph
         if persist and self.directory is not None:
             path = self._path(name)
-            with open(path, "w", encoding="utf-8") as handle:
-                ddl.dump(graph, handle)
+            payload = ddl.with_checksum(ddl.dumps(graph))
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    current = handle.read()
+                _atomic_write_text(
+                    path + _BACKUP_SUFFIX, current, f"store.backup.{name}"
+                )
+            _atomic_write_text(path, payload, f"store.write.{name}")
 
     def fetch(self, name: str) -> Graph:
-        """Return the named graph, loading it from disk if not cached."""
+        """Return the named graph, loading it from disk if not cached.
+
+        A primary file that fails its integrity check falls back to the
+        previous good generation (``.ddl.1``), recording a recovery
+        event; only when both generations are unreadable does the
+        corruption surface to the caller.
+        """
         cached = self._graphs.get(name)
         if cached is not None:
             return cached
         if self.directory is not None:
             path = self._path(name)
-            if os.path.exists(path):
-                with open(path, "r", encoding="utf-8") as handle:
-                    graph = ddl.load(handle, name)
+            backup = path + _BACKUP_SUFFIX
+            if os.path.exists(path) or os.path.exists(backup):
+                graph = self._load_checked(name, path, backup)
                 self._graphs[name] = graph
                 return graph
         raise RepositoryError(f"no graph named {name!r} in the repository")
 
+    def _load_checked(self, name: str, path: str, backup: str) -> Graph:
+        primary_error: Optional[RepositoryError] = None
+        if os.path.exists(path):
+            try:
+                return _load_file(path, name)
+            except RepositoryError as error:
+                primary_error = error
+        if os.path.exists(backup):
+            graph = _load_file(backup, name)
+            record_recovery_event(
+                "repository",
+                f"graph {name!r}: recovered previous generation from backup"
+                + (f" ({primary_error})" if primary_error is not None else ""),
+            )
+            return graph
+        assert primary_error is not None
+        raise primary_error
+
     def __contains__(self, name: str) -> bool:
         if name in self._graphs:
             return True
-        return self.directory is not None and os.path.exists(self._path(name))
+        if self.directory is None:
+            return False
+        path = self._path(name)
+        return os.path.exists(path) or os.path.exists(path + _BACKUP_SUFFIX)
 
     def delete(self, name: str) -> None:
-        """Forget a graph (cache and disk).  Unknown names raise."""
+        """Forget a graph (cache, disk, and backup).  Unknown names raise."""
         known = name in self
         self._graphs.pop(name, None)
         if self.directory is not None:
             path = self._path(name)
-            if os.path.exists(path):
-                os.remove(path)
+            for candidate in (path, path + _BACKUP_SUFFIX):
+                if os.path.exists(candidate):
+                    os.remove(candidate)
         if not known:
             raise RepositoryError(f"no graph named {name!r} in the repository")
 
@@ -147,3 +194,38 @@ class Repository:
             raise RepositoryError("repository is in-memory only")
         safe = name.replace(os.sep, "_")
         return os.path.join(self.directory, safe + _GRAPH_SUFFIX)
+
+
+# ------------------------------------------------------------------ #
+# crash-safe file primitives
+
+
+def _atomic_write_text(path: str, text: str, site: str) -> None:
+    """Write ``text`` to ``path`` via tmp+fsync+rename.
+
+    The ``site``-prefixed chaos hooks mark the three points a crash can
+    land: before the tmp write, after writing but before fsync, and
+    after fsync but before the rename.  At every one of them, ``path``
+    still holds its previous content in full.
+    """
+    maybe_fail(f"{site}.tmp")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        maybe_fail(f"{site}.flush")
+        handle.flush()
+        os.fsync(handle.fileno())
+    maybe_fail(f"{site}.rename")
+    os.replace(tmp, path)
+
+
+def _load_file(path: str, name: str) -> Graph:
+    """Load one DDL file, verifying its checksum header when present."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    declared, body = ddl.split_checksum(text)
+    if declared is not None and ddl.checksum(body) != declared:
+        raise RepositoryCorruptionError(
+            f"checksum mismatch in {path}: file is corrupt or truncated"
+        )
+    return ddl.loads(body, name)

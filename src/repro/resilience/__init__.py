@@ -1,0 +1,57 @@
+"""Fault tolerance for the ingest -> build -> serve pipeline.
+
+The paper's sites are *regenerated from external sources* (wrappers ->
+mediator -> data graph -> site graph), so one malformed BibTeX entry,
+one flaky source, or one crash mid-write could take the whole site
+down.  This package makes every stage degrade instead of die:
+
+* :mod:`~repro.resilience.quarantine` -- per-record quarantine in the
+  wrappers, with an error budget;
+* :mod:`~repro.resilience.retry` -- deterministic retry/backoff and
+  per-source circuit breakers (injectable clock);
+* :mod:`~repro.resilience.chaos` -- a seeded fault-injection harness
+  the chaos tests use to prove the guarantees;
+* :mod:`~repro.resilience.report` -- the aggregated resilience ledger
+  (`repro stats --resilience`);
+* :mod:`~repro.resilience.policy` -- the bundle the mediator threads
+  through the stages.
+"""
+
+from . import chaos
+from .chaos import ChaosFault, FaultPlan
+from .policy import ResiliencePolicy
+from .quarantine import QuarantinedRecord, QuarantineReport, WrapPolicy
+from .report import (
+    ResilienceReport,
+    record_recovery_event,
+    recovery_events,
+    reset_recovery_events,
+)
+from .retry import (
+    BreakerState,
+    CircuitBreaker,
+    Clock,
+    ManualClock,
+    RetryPolicy,
+    SystemClock,
+)
+
+__all__ = [
+    "BreakerState",
+    "ChaosFault",
+    "CircuitBreaker",
+    "Clock",
+    "FaultPlan",
+    "ManualClock",
+    "QuarantinedRecord",
+    "QuarantineReport",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "RetryPolicy",
+    "SystemClock",
+    "WrapPolicy",
+    "chaos",
+    "record_recovery_event",
+    "recovery_events",
+    "reset_recovery_events",
+]

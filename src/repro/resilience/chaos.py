@@ -1,0 +1,176 @@
+"""Fault injection: programmable failures at named pipeline points.
+
+Every guarded operation in the pipeline -- wrapper I/O, each step of a
+repository write, query-engine evaluation -- calls
+:func:`maybe_fail(site) <maybe_fail>` with a dotted site name before
+doing its work.  With no :class:`FaultPlan` installed this is a no-op;
+with one installed (``with chaos.installed(plan): ...``) the plan
+decides, deterministically from its seed and rules, whether to raise
+:class:`ChaosFault` at that point.
+
+This is how the chaos tests *prove* the resilience guarantees: a fault
+at every store-write site must never lose the last good generation, a
+fault in engine evaluation must degrade a page to its last-known-good
+bytes, a fault in a wrapper must trip retry and then the circuit
+breaker.
+
+``REPRO_CHAOS_SEED`` (see :meth:`FaultPlan.from_env`) lets CI re-seed
+the chaos suite without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+
+class ChaosFault(RuntimeError):
+    """An injected failure.  Deliberately *not* a StrudelError: chaos
+    simulates infrastructure dying (I/O errors, crashes), not library
+    misuse, so only code paths that explicitly guard against
+    infrastructure failure may catch it."""
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected fault at {site!r} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+class _Rule:
+    """One trigger: a site glob plus when it fires."""
+
+    def __init__(
+        self,
+        pattern: str,
+        at: Optional[int] = None,
+        probability: Optional[float] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.at = at
+        self.probability = probability
+
+    def matches(self, site: str) -> bool:
+        return fnmatch(site, self.pattern)
+
+    def fires(self, hit: int, rng: random.Random) -> bool:
+        if self.at is not None:
+            return hit == self.at
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True
+
+
+class FaultPlan:
+    """A seeded, programmable set of failures.
+
+    Rules are matched against site names with shell globs
+    (``store.write.*``).  Counters are per site, so ``fail_at(site, 2)``
+    means "the second time this site is reached".  Probabilistic rules
+    draw from ``random.Random(seed)``, making a plan's behavior a pure
+    function of (seed, sequence of sites reached).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: List[_Rule] = []
+        #: site -> times reached
+        self.hits: Dict[str, int] = {}
+        #: every fault injected, in order
+        self.injected: List[Tuple[str, int]] = []
+
+    # ---------------------------------------------------------- #
+    # rule construction (chainable)
+
+    def fail_always(self, pattern: str) -> "FaultPlan":
+        self._rules.append(_Rule(pattern))
+        return self
+
+    def fail_at(self, pattern: str, hit: int) -> "FaultPlan":
+        """Fail the ``hit``-th (1-based) time a matching site is reached."""
+        self._rules.append(_Rule(pattern, at=hit))
+        return self
+
+    def fail_with_probability(self, pattern: str, probability: float) -> "FaultPlan":
+        self._rules.append(_Rule(pattern, probability=probability))
+        return self
+
+    # ---------------------------------------------------------- #
+
+    def check(self, site: str) -> None:
+        """Raise :class:`ChaosFault` if a rule fires for this visit."""
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        for rule in self._rules:
+            if rule.matches(site) and rule.fires(hit, self._rng):
+                self.injected.append((site, hit))
+                raise ChaosFault(site, hit)
+
+    def report(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "sites_reached": dict(sorted(self.hits.items())),
+            "faults_injected": [
+                {"site": site, "hit": hit} for site, hit in self.injected
+            ],
+        }
+
+    @classmethod
+    def from_env(cls, default_seed: int = 7) -> "FaultPlan":
+        """A plan seeded from ``REPRO_CHAOS_SEED`` (CI re-seeds chaos runs
+        this way); rules are still added by the caller."""
+        raw = os.environ.get("REPRO_CHAOS_SEED", "")
+        try:
+            seed = int(raw)
+        except ValueError:
+            seed = default_seed
+        return cls(seed=seed if raw else default_seed)
+
+
+# ------------------------------------------------------------------ #
+# the ambient plan
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the ambient plan consulted by :func:`maybe_fail`."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+class installed:
+    """``with chaos.installed(plan):`` -- scoped installation, exception
+    safe, restores whatever plan was active before."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.plan
+        return self.plan
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def maybe_fail(site: str) -> None:
+    """Fault point: no-op without a plan, else let the plan decide."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(site)

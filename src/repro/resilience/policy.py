@@ -1,0 +1,41 @@
+"""The one knob callers turn: a :class:`ResiliencePolicy` bundling the
+per-stage settings (quarantine budget, retry schedule, breaker
+thresholds) that the mediator threads through every pipeline stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .quarantine import WrapPolicy
+from .retry import Clock, RetryPolicy, SystemClock
+
+
+@dataclass
+class ResiliencePolicy:
+    """How a mediation run should degrade instead of die.
+
+    Passing one to :meth:`~repro.mediator.Mediator.materialize` (or
+    ``ingest``) switches the mediator from strict all-or-nothing loading
+    to: per-record quarantine inside each wrapper, retry with backoff
+    around each source, a circuit breaker per source, and a warehouse
+    built from whatever survives -- marked ``partial`` in its
+    provenance.  ``min_sources`` is the floor: fewer surviving sources
+    than this falls back to the repository's previous warehouse
+    generation (marked ``stale``) or, failing that, raises.
+    """
+
+    wrap: WrapPolicy = field(default_factory=WrapPolicy.tolerant)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 3
+    breaker_reset: float = 60.0
+    #: minimum surviving sources for a materialization to count
+    min_sources: int = 1
+    #: clock driving the circuit breakers (tests inject ManualClock)
+    clock: Optional[Clock] = None
+
+    def breaker_clock(self) -> Clock:
+        if self.clock is not None:
+            return self.clock
+        return self.retry.clock if self.retry is not None else SystemClock()

@@ -1,0 +1,176 @@
+"""The resilience ledger: what degraded, what was quarantined, what
+recovered.
+
+A :class:`ResilienceReport` aggregates the evidence the pipeline stages
+produce -- wrapper quarantine reports, mediator breaker states and
+failed sources, repository recovery events, page-server degradations --
+into one JSON-able document.  ``repro ingest`` writes one next to its
+output and ``repro stats --resilience`` prints one, so operators can see
+*that* the site degraded and *why* without reading logs.
+
+Repository recovery events are also recorded in a process-wide log
+(mirroring :func:`repro.repository.statistics_refresh_counters`), since
+recoveries happen inside ``fetch`` calls far from any report object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_RECOVERY_EVENTS: List[Dict[str, str]] = []
+
+
+def record_recovery_event(subject: str, detail: str) -> Dict[str, str]:
+    """Log one recovery (e.g. a corrupt graph restored from backup)."""
+    event = {"subject": subject, "detail": detail}
+    _RECOVERY_EVENTS.append(event)
+    return event
+
+
+def recovery_events() -> List[Dict[str, str]]:
+    return list(_RECOVERY_EVENTS)
+
+
+def reset_recovery_events() -> None:
+    _RECOVERY_EVENTS.clear()
+
+
+@dataclass
+class ResilienceReport:
+    """One pipeline run's degradations, quarantines, and recoveries."""
+
+    #: source name -> QuarantineReport.as_dict()
+    quarantine: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: source name -> CircuitBreaker.snapshot()
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: source name -> final error after retries
+    failed_sources: Dict[str, str] = field(default_factory=dict)
+    #: sources skipped without trying (circuit open)
+    skipped_sources: List[str] = field(default_factory=list)
+    #: source name -> retry attempts that failed before success/giving up
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: repository recoveries (corrupt generation restored from backup)
+    recovery_events: List[Dict[str, str]] = field(default_factory=list)
+    #: page-server degradations (stale page / error page served)
+    degradations: List[Dict[str, str]] = field(default_factory=list)
+    #: True when the warehouse was built from a strict subset of sources
+    partial: bool = False
+    #: True when a previous warehouse generation was served instead
+    stale: bool = False
+
+    # ------------------------------------------------------------ #
+    # collectors
+
+    def record_mediation(self, mediator: object) -> "ResilienceReport":
+        """Fold a mediator's last materialization into this report."""
+        report = getattr(mediator, "last_report", None)
+        if report is not None:
+            for name, quarantine in report.quarantine.items():
+                self.quarantine[name] = dict(quarantine)
+            self.failed_sources.update(report.failed_sources)
+            self.skipped_sources.extend(report.skipped_sources)
+            for name, count in report.retries.items():
+                self.retries[name] = self.retries.get(name, 0) + count
+            self.partial = self.partial or report.partial
+            self.stale = self.stale or report.stale
+        breaker_states = getattr(mediator, "breaker_states", None)
+        if callable(breaker_states):
+            self.breakers.update(breaker_states())
+        return self
+
+    def record_server(self, server: object) -> "ResilienceReport":
+        """Fold a page server's degradation log into this report."""
+        self.degradations.extend(getattr(server, "degradations", []))
+        return self
+
+    def record_recoveries(self, events: Optional[List[Dict[str, str]]] = None) -> "ResilienceReport":
+        """Fold recovery events (default: the process-wide log)."""
+        self.recovery_events.extend(
+            events if events is not None else recovery_events()
+        )
+        return self
+
+    # ------------------------------------------------------------ #
+    # totals and rendering
+
+    @property
+    def quarantined_records(self) -> int:
+        return sum(int(q.get("quarantined", 0)) for q in self.quarantine.values())
+
+    @property
+    def open_breakers(self) -> List[str]:
+        return sorted(
+            name
+            for name, snapshot in self.breakers.items()
+            if snapshot.get("state") != "closed"
+        )
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"partial: {str(self.partial).lower()}",
+            f"stale: {str(self.stale).lower()}",
+            f"quarantined records: {self.quarantined_records}",
+        ]
+        for name, quarantine in sorted(self.quarantine.items()):
+            lines.append(
+                f"  {name}: admitted={quarantine.get('admitted', 0)} "
+                f"quarantined={quarantine.get('quarantined', 0)}"
+            )
+        lines.append(f"failed sources: {len(self.failed_sources)}")
+        for name, error in sorted(self.failed_sources.items()):
+            lines.append(f"  {name}: {error}")
+        if self.skipped_sources:
+            lines.append(f"skipped (circuit open): {', '.join(self.skipped_sources)}")
+        lines.append(
+            "breakers: "
+            + (
+                ", ".join(
+                    f"{name}={snapshot.get('state')}"
+                    for name, snapshot in sorted(self.breakers.items())
+                )
+                or "none"
+            )
+        )
+        lines.append(f"recovery events: {len(self.recovery_events)}")
+        for event in self.recovery_events:
+            lines.append(f"  {event.get('subject')}: {event.get('detail')}")
+        lines.append(f"degraded serves: {len(self.degradations)}")
+        return lines
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "partial": self.partial,
+            "stale": self.stale,
+            "quarantine": self.quarantine,
+            "breakers": self.breakers,
+            "failed_sources": self.failed_sources,
+            "skipped_sources": list(self.skipped_sources),
+            "retries": self.retries,
+            "recovery_events": list(self.recovery_events),
+            "degradations": list(self.degradations),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ResilienceReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        report = cls()
+        report.partial = bool(raw.get("partial", False))
+        report.stale = bool(raw.get("stale", False))
+        report.quarantine = dict(raw.get("quarantine", {}))
+        report.breakers = dict(raw.get("breakers", {}))
+        report.failed_sources = dict(raw.get("failed_sources", {}))
+        report.skipped_sources = list(raw.get("skipped_sources", []))
+        report.retries = dict(raw.get("retries", {}))
+        report.recovery_events = list(raw.get("recovery_events", []))
+        report.degradations = list(raw.get("degradations", []))
+        return report

@@ -1,0 +1,184 @@
+"""Retry with exponential backoff, and per-source circuit breakers.
+
+Both are built on an injectable :class:`Clock` so every test is
+deterministic: :class:`ManualClock` never sleeps for real and makes
+"60 seconds later" a single method call.  Backoff jitter comes from a
+seeded RNG created per :meth:`RetryPolicy.call`, so a given policy
+produces the same delay sequence every run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+
+class Clock:
+    """Time source + sleeper; swap in :class:`ManualClock` for tests."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time; real sleeps."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand; ``sleep`` advances instantly."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded jitter: deterministic by design.
+
+    Delay for attempt *n* (1-based) is
+    ``min(base_delay * multiplier**(n-1), max_delay)`` plus up to
+    ``jitter`` of itself, drawn from ``random.Random(seed)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    #: extra delay as a fraction of the computed delay (0.1 = up to +10%)
+    jitter: float = 0.1
+    seed: int = 0
+    clock: Clock = field(default_factory=SystemClock)
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (one delay per retry, deterministic)."""
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        for attempt in range(1, self.max_attempts):
+            out.append(self._delay(attempt, rng))
+        return out
+
+    def _delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return base + rng.random() * self.jitter * base
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> object:
+        """Call ``fn``, retrying on ``retry_on`` with backoff.
+
+        ``on_retry(attempt, error, delay)`` is invoked before each sleep.
+        The last failure is re-raised once attempts are exhausted.
+        """
+        rng = random.Random(self.seed)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on as error:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self._delay(attempt, rng)
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                self.clock.sleep(delay)
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-source circuit breaker: stop hammering a dead source.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` is False (the mediator skips the source without
+    even trying).  After ``reset_timeout`` seconds one probe call is
+    allowed (half-open); its outcome closes or re-opens the circuit.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 3,
+        reset_timeout: float = 60.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock if clock is not None else SystemClock()
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        #: lifetime counters for reports
+        self.total_failures = 0
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        """May the protected call proceed right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            assert self.opened_at is not None
+            if self.clock.now() - self.opened_at >= self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True  # half-open: probe in flight, allow it
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = self.clock.now()
+        self.times_opened += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "consecutive_failures": self.failures,
+            "total_failures": self.total_failures,
+            "times_opened": self.times_opened,
+        }

@@ -39,6 +39,7 @@ from ..errors import (
 )
 from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
 from ..repository.indexes import IndexStatistics, graph_statistics
+from ..resilience.chaos import maybe_fail
 from . import builtins
 from .ast import (
     CollectClause,
@@ -302,6 +303,7 @@ class QueryEngine:
         ``initial`` seeds the pipeline (used for nested blocks); default
         is the single empty binding.  The result is deduplicated.
         """
+        maybe_fail("engine.bindings")
         initial_rows: List[Binding] = [
             dict(b) for b in (initial if initial is not None else [{}])
         ]

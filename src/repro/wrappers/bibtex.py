@@ -27,9 +27,10 @@ citation key as ``key``.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..errors import WrapperError
+from ..errors import StrudelError, WrapperError
+from ..resilience.quarantine import QuarantineReport, WrapPolicy
 from ..graph import (
     Atom,
     AtomType,
@@ -102,6 +103,24 @@ class BibtexWrapper(Wrapper):
         for entry_type, key, fields in parse_bibtex(self.text, macros):
             self._add_entry(graph, entry_type, key, fields)
 
+    def _wrap_tolerant(
+        self, graph: Graph, policy: WrapPolicy, report: QuarantineReport
+    ) -> None:
+        """Per-entry quarantine: a malformed entry is reported and the
+        parser resumes at the next ``@``; well-formed entries all load."""
+        graph.create_collection(self.collection)
+        macros: Dict[str, str] = {}
+
+        def on_error(locator: str, error: WrapperError, snippet: str) -> None:
+            self._quarantine(policy, report, locator, error, snippet)
+
+        for entry_type, key, fields in iter_bibtex(self.text, macros, on_error):
+            try:
+                self._add_entry(graph, entry_type, key, fields)
+                report.admitted += 1
+            except (StrudelError, ValueError) as error:
+                self._quarantine(policy, report, f"entry {key or '?'}", error)
+
     def _add_entry(
         self, graph: Graph, entry_type: str, key: str, fields: List[Tuple[str, str]]
     ) -> None:
@@ -153,31 +172,71 @@ def parse_bibtex(
     """Parse BibTeX text into ``(entry_type, key, [(field, value), ...])``.
 
     ``macros`` accumulates ``@string`` definitions; month abbreviations
-    (``jan`` .. ``dec``) are predefined.
+    (``jan`` .. ``dec``) are predefined.  The first malformed entry
+    raises a :class:`~repro.errors.WrapperError` whose locator names the
+    entry and its line; :func:`iter_bibtex` with ``on_error`` is the
+    tolerant variant.
+    """
+    return list(iter_bibtex(text, macros))
+
+
+def _line_of(text: str, position: int) -> int:
+    return text.count("\n", 0, position) + 1
+
+
+def _guess_key(text: str, brace_index: int) -> str:
+    """The citation key following the opening brace, best effort."""
+    match = re.match(r"\s*([^,\s{}()\"]+)\s*,", text[brace_index + 1 :])
+    return match.group(1) if match else ""
+
+
+def iter_bibtex(
+    text: str,
+    macros: Optional[Dict[str, str]] = None,
+    on_error: Optional[Callable[[str, WrapperError, str], None]] = None,
+) -> Iterator[Tuple[str, str, List[Tuple[str, str]]]]:
+    """Yield parsed entries one at a time.
+
+    Without ``on_error`` the first malformed entry raises (with a
+    locator).  With it, the failure is reported as
+    ``on_error(locator, error, raw_snippet)`` and scanning resumes at
+    the next ``@`` -- the recovery that makes per-record quarantine
+    possible for a format with no record separators.
     """
     if macros is None:
         macros = {}
-    for month in (
-        "jan feb mar apr may jun jul aug sep oct nov dec".split()
-    ):
+    for month in "jan feb mar apr may jun jul aug sep oct nov dec".split():
         macros.setdefault(month, month.capitalize())
-    entries: List[Tuple[str, str, List[Tuple[str, str]]]] = []
     position = 0
     while True:
         match = _ENTRY_START.search(text, position)
         if match is None:
             break
         entry_type = match.group(1).lower()
-        body, position = _read_balanced(text, match.end() - 1)
-        if entry_type in ("comment", "preamble"):
+        line = _line_of(text, match.start())
+        try:
+            body, position = _read_balanced(text, match.end() - 1)
+            if entry_type in ("comment", "preamble"):
+                continue
+            if entry_type == "string":
+                name, value = _parse_macro(body, macros)
+                macros[name] = value
+                continue
+            key, fields = _parse_entry_body(body, macros)
+        except WrapperError as error:
+            key = _guess_key(text, match.end() - 1)
+            named = f"entry {key} " if key else "entry "
+            locator = f"{named}(line {line})"
+            if on_error is None:
+                raise WrapperError(
+                    error.base_message, locator=locator, cause=error
+                ) from error
+            next_at = text.find("@", match.end())
+            end = next_at if next_at >= 0 else len(text)
+            on_error(locator, error, text[match.start() : end].strip())
+            position = end
             continue
-        if entry_type == "string":
-            name, value = _parse_macro(body, macros)
-            macros[name] = value
-            continue
-        key, fields = _parse_entry_body(body, macros)
-        entries.append((entry_type, key, fields))
-    return entries
+        yield entry_type, key, fields
 
 
 def _read_balanced(text: str, open_index: int) -> Tuple[str, int]:

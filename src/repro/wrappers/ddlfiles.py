@@ -9,6 +9,7 @@ into the same mediation pipeline as every other source.
 
 from __future__ import annotations
 
+from ..errors import DDLSyntaxError, WrapperError
 from ..graph import Graph
 from ..repository import ddl
 from .base import Wrapper
@@ -28,8 +29,13 @@ class DdlWrapper(Wrapper):
         with open(path, "r", encoding="utf-8") as handle:
             return cls(handle.read(), source_name=path)
 
-    def wrap(self) -> Graph:
-        return ddl.loads(self.text, self.source_name)
-
-    def _wrap_into(self, graph: Graph) -> None:  # pragma: no cover - unused
-        graph.merge(ddl.loads(self.text, self.source_name))
+    def _wrap_into(self, graph: Graph) -> None:
+        try:
+            graph.merge(ddl.loads(self.text, self.source_name))
+        except DDLSyntaxError as error:
+            line = getattr(error, "line", 0)
+            raise WrapperError(
+                str(error),
+                locator=f"line {line}" if line else "",
+                cause=error,
+            ) from error

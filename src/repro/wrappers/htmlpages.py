@@ -29,7 +29,9 @@ import posixpath
 from html.parser import HTMLParser
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import StrudelError, WrapperError
 from ..graph import Graph, Oid, image_file, string, text_file, url
+from ..resilience.quarantine import QuarantineReport, WrapPolicy
 from .base import Wrapper
 
 
@@ -121,24 +123,60 @@ class HtmlSiteWrapper(Wrapper):
         scans: Dict[str, _PageScan] = {}
         oids: Dict[str, Oid] = {}
         for path, text in self.pages.items():
-            scan = _PageScan()
-            scan.feed(text)
-            scan.close()
-            scans[path] = scan
-            oid = graph.add_node(Oid(f"page:{path}"))
-            oids[path] = oid
-            graph.add_edge(oid, "path", string(path))
-            if scan.title:
-                graph.add_edge(oid, "title", string(scan.title))
-            for heading in scan.headings:
-                graph.add_edge(oid, "heading", string(heading))
-            if scan.paragraphs:
-                graph.add_edge(oid, "text", text_file(" ".join(scan.paragraphs)))
-            for image in scan.images:
-                graph.add_edge(oid, "image", image_file(image))
-            for name, content in scan.metas:
-                graph.add_edge(oid, f"meta-{name}", string(content))
-            graph.add_to_collection(self.collection, oid)
+            try:
+                scans[path], oids[path] = self._wrap_page(graph, path, text)
+            except (StrudelError, ValueError) as error:
+                message = getattr(error, "base_message", "") or str(error)
+                raise WrapperError(
+                    message, locator=f"page {path}", cause=error
+                ) from error
+        self._wire_links(graph, scans, oids)
+
+    def _wrap_tolerant(
+        self, graph: Graph, policy: WrapPolicy, report: QuarantineReport
+    ) -> None:
+        """Per-page quarantine: a page that will not scan is dropped;
+        links that pointed at it degrade into plain ``href`` atoms."""
+        graph.create_collection(self.collection)
+        scans: Dict[str, _PageScan] = {}
+        oids: Dict[str, Oid] = {}
+        for path, text in self.pages.items():
+            try:
+                scans[path], oids[path] = self._wrap_page(graph, path, text)
+                report.admitted += 1
+            except (StrudelError, ValueError) as error:
+                scans.pop(path, None)
+                oids.pop(path, None)
+                oid = Oid(f"page:{path}")
+                if graph.has_node(oid):
+                    graph.remove_node(oid)
+                self._quarantine(
+                    policy, report, f"page {path}", error, snippet=text
+                )
+        self._wire_links(graph, scans, oids)
+
+    def _wrap_page(self, graph: Graph, path: str, text: str) -> Tuple[_PageScan, Oid]:
+        scan = _PageScan()
+        scan.feed(text)
+        scan.close()
+        oid = graph.add_node(Oid(f"page:{path}"))
+        graph.add_edge(oid, "path", string(path))
+        if scan.title:
+            graph.add_edge(oid, "title", string(scan.title))
+        for heading in scan.headings:
+            graph.add_edge(oid, "heading", string(heading))
+        if scan.paragraphs:
+            graph.add_edge(oid, "text", text_file(" ".join(scan.paragraphs)))
+        for image in scan.images:
+            graph.add_edge(oid, "image", image_file(image))
+        for name, content in scan.metas:
+            graph.add_edge(oid, f"meta-{name}", string(content))
+        graph.add_to_collection(self.collection, oid)
+        return scan, oid
+
+    def _wire_links(
+        self, graph: Graph, scans: Dict[str, _PageScan], oids: Dict[str, Oid]
+    ) -> None:
         for path, scan in scans.items():
             source = oids[path]
             base = posixpath.dirname(path)

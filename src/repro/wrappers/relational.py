@@ -16,35 +16,48 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import WrapperError
+from ..errors import StrudelError, WrapperError
 from ..graph import Atom, AtomType, Graph, Oid, parse_typed_value
+from ..resilience.quarantine import QuarantineReport, WrapPolicy
 from .base import Wrapper
 
 
 class Table:
-    """An in-memory relational table: a header plus rows of strings."""
+    """An in-memory relational table: a header plus rows of strings.
 
-    def __init__(self, name: str, columns: Sequence[str], rows: Iterable[Sequence[str]]) -> None:
+    ``strict=False`` admits ragged rows (kept as-is); wrapping them then
+    raises per row -- or quarantines them, under a tolerant policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[str]],
+        strict: bool = True,
+    ) -> None:
         self.name = name
         self.columns = list(columns)
         self.rows = [list(row) for row in rows]
-        for row in self.rows:
-            if len(row) != len(self.columns):
-                raise WrapperError(
-                    f"row width {len(row)} != header width {len(self.columns)} "
-                    f"in table {name!r}"
-                )
+        if strict:
+            for number, row in enumerate(self.rows, start=1):
+                if len(row) != len(self.columns):
+                    raise WrapperError(
+                        f"row width {len(row)} != header width {len(self.columns)} "
+                        f"in table {name!r}",
+                        locator=f"row {number}",
+                    )
 
     @classmethod
-    def from_csv(cls, name: str, text: str) -> "Table":
+    def from_csv(cls, name: str, text: str, strict: bool = True) -> "Table":
         reader = csv.reader(io.StringIO(text))
         try:
             header = next(reader)
         except StopIteration:
             raise WrapperError(f"empty CSV for table {name!r}") from None
-        return cls(name, header, list(reader))
+        return cls(name, header, list(reader), strict=strict)
 
     @classmethod
     def from_csv_file(cls, path: str, name: str = "") -> "Table":
@@ -96,32 +109,79 @@ class RelationalWrapper(Wrapper):
 
     # ------------------------------------------------------------ #
 
-    def _wrap_into(self, graph: Graph) -> None:
-        row_oids: Dict[str, Dict[str, Oid]] = {}
-        for table in self.tables:
-            row_oids[table.name] = self._wrap_table(graph, table)
-        self._wire_foreign_keys(graph, row_oids)
+    #: one admitted row: (oid, raw row, 1-based row number)
+    _Placed = Tuple[Oid, List[str], int]
 
-    def _wrap_table(self, graph: Graph, table: Table) -> Dict[str, Oid]:
+    def _wrap_into(self, graph: Graph) -> None:
+        placed: Dict[str, List["RelationalWrapper._Placed"]] = {}
+        by_key: Dict[str, Dict[str, Oid]] = {}
+        for table in self.tables:
+            placed[table.name], by_key[table.name] = self._wrap_table(graph, table)
+        self._wire_foreign_keys(graph, placed, by_key)
+
+    def _wrap_tolerant(
+        self, graph: Graph, policy: WrapPolicy, report: QuarantineReport
+    ) -> None:
+        """Per-row quarantine: a ragged row, an uncoercible cell, or a
+        dangling foreign key drops that row (node removed), not the table."""
+        placed: Dict[str, List["RelationalWrapper._Placed"]] = {}
+        by_key: Dict[str, Dict[str, Oid]] = {}
+        for table in self.tables:
+            placed[table.name], by_key[table.name] = self._wrap_table(
+                graph, table, policy, report
+            )
+        self._wire_foreign_keys(graph, placed, by_key, policy, report)
+        report.admitted += sum(len(rows) for rows in placed.values())
+
+    def _wrap_table(
+        self,
+        graph: Graph,
+        table: Table,
+        policy: Optional[WrapPolicy] = None,
+        report: Optional[QuarantineReport] = None,
+    ) -> Tuple[List["RelationalWrapper._Placed"], Dict[str, Oid]]:
         graph.create_collection(table.name)
         key_column = self.key_columns.get(table.name, "")
         key_index = table.columns.index(key_column) if key_column in table.columns else -1
         fk_columns = {fk.column for fk in self.foreign_keys.get(table.name, ())}
+        placed: List[RelationalWrapper._Placed] = []
         by_key: Dict[str, Oid] = {}
-        for row in table.rows:
-            if key_index >= 0 and row[key_index].strip():
-                oid = graph.add_node(Oid(f"{table.name}:{row[key_index].strip()}"))
-            else:
-                oid = graph.add_node(hint=table.name)
-            for column, cell in zip(table.columns, row):
-                cell = cell.strip()
-                if not cell or column in fk_columns:
-                    continue  # NULL -> missing attribute; FKs wired later
-                graph.add_edge(oid, column, self._cell_atom(table.name, column, cell))
+        for number, row in enumerate(table.rows, start=1):
+            oid: Optional[Oid] = None
+            try:
+                if len(row) != len(table.columns):
+                    raise WrapperError(
+                        f"row width {len(row)} != header width "
+                        f"{len(table.columns)} in table {table.name!r}"
+                    )
+                if key_index >= 0 and row[key_index].strip():
+                    oid = graph.add_node(Oid(f"{table.name}:{row[key_index].strip()}"))
+                else:
+                    oid = graph.add_node(hint=table.name)
+                for column, cell in zip(table.columns, row):
+                    cell = cell.strip()
+                    if not cell or column in fk_columns:
+                        continue  # NULL -> missing attribute; FKs wired later
+                    graph.add_edge(oid, column, self._cell_atom(table.name, column, cell))
+            except (WrapperError, ValueError) as error:
+                locator = f"{table.name} row {number}"
+                if policy is None or report is None:
+                    message = getattr(error, "base_message", "") or str(error)
+                    raise WrapperError(
+                        message, locator=locator, cause=error
+                    ) from error
+                # an earlier row may own the same keyed oid; keep it then
+                if oid is not None and not graph.in_collection(table.name, oid):
+                    graph.remove_node(oid)
+                self._quarantine(
+                    policy, report, locator, error, snippet=",".join(map(str, row))
+                )
+                continue
             graph.add_to_collection(table.name, oid)
-            if key_index >= 0:
+            placed.append((oid, row, number))
+            if key_index >= 0 and row[key_index].strip():
                 by_key[row[key_index].strip()] = oid
-        return by_key
+        return placed, by_key
 
     def _cell_atom(self, table: str, column: str, cell: str) -> Atom:
         pinned = self.column_types.get(f"{table}.{column}")
@@ -130,32 +190,55 @@ class RelationalWrapper(Wrapper):
         return infer_atom(cell)
 
     def _wire_foreign_keys(
-        self, graph: Graph, row_oids: Dict[str, Dict[str, Oid]]
+        self,
+        graph: Graph,
+        placed: Dict[str, List["RelationalWrapper._Placed"]],
+        by_key: Dict[str, Dict[str, Oid]],
+        policy: Optional[WrapPolicy] = None,
+        report: Optional[QuarantineReport] = None,
     ) -> None:
         for table in self.tables:
             declared = self.foreign_keys.get(table.name)
             if not declared:
                 continue
-            members = graph.collection(table.name)
             column_index = {c: i for i, c in enumerate(table.columns)}
-            for oid, row in zip(members, table.rows):
-                for fk in declared:
-                    index = column_index.get(fk.column)
-                    if index is None:
+            for fk in declared:
+                if fk.column not in column_index:
+                    # misconfiguration, not dirty data: raise even tolerantly
+                    raise WrapperError(
+                        f"foreign key column {fk.column!r} missing from "
+                        f"table {table.name!r}"
+                    )
+            admitted = placed.get(table.name, [])
+            survivors: List[RelationalWrapper._Placed] = []
+            for oid, row, number in admitted:
+                try:
+                    for fk in declared:
+                        cell = row[column_index[fk.column]].strip()
+                        if not cell:
+                            continue
+                        target = by_key.get(fk.target_table, {}).get(cell)
+                        if target is None:
+                            raise WrapperError(
+                                f"dangling foreign key {table.name}.{fk.column} = "
+                                f"{cell!r} (no {fk.target_table} row)"
+                            )
+                        graph.add_edge(oid, fk.edge_label, target)
+                except StrudelError as error:
+                    locator = f"{table.name} row {number}"
+                    if policy is None or report is None:
+                        message = getattr(error, "base_message", "") or str(error)
                         raise WrapperError(
-                            f"foreign key column {fk.column!r} missing from "
-                            f"table {table.name!r}"
-                        )
-                    cell = row[index].strip()
-                    if not cell:
-                        continue
-                    target = row_oids.get(fk.target_table, {}).get(cell)
-                    if target is None:
-                        raise WrapperError(
-                            f"dangling foreign key {table.name}.{fk.column} = "
-                            f"{cell!r} (no {fk.target_table} row)"
-                        )
-                    graph.add_edge(oid, fk.edge_label, target)
+                            message, locator=locator, cause=error
+                        ) from error
+                    graph.remove_node(oid)
+                    self._quarantine(
+                        policy, report, locator, error,
+                        snippet=",".join(map(str, row)),
+                    )
+                    continue
+                survivors.append((oid, row, number))
+            placed[table.name] = survivors
 
 
 def infer_atom(cell: str) -> Atom:

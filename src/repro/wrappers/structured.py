@@ -18,11 +18,14 @@ directly into semistructured objects.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import WrapperError
+from ..errors import StrudelError, WrapperError
 from ..graph import Graph, Oid, parse_typed_value, string
+from ..resilience.quarantine import QuarantineReport, WrapPolicy
 from .base import Wrapper
+
+_OnError = Callable[[str, Exception, str], None]
 
 
 class StructuredFileWrapper(Wrapper):
@@ -45,15 +48,54 @@ class StructuredFileWrapper(Wrapper):
     # ------------------------------------------------------------ #
 
     def _wrap_into(self, graph: Graph) -> None:
+        self._scan(graph)
+
+    def _wrap_tolerant(
+        self, graph: Graph, policy: WrapPolicy, report: QuarantineReport
+    ) -> None:
+        """Per-record quarantine: a bad line discards the record it belongs
+        to (skipping to the next blank line); every other record loads."""
+
+        def on_error(locator: str, error: Exception, snippet: str) -> None:
+            self._quarantine(policy, report, locator, error, snippet)
+
+        self._scan(graph, on_error, report)
+
+    def _scan(
+        self,
+        graph: Graph,
+        on_error: Optional[_OnError] = None,
+        report: Optional[QuarantineReport] = None,
+    ) -> None:
         collection = self.default_collection
         types: Dict[str, str] = {}
         id_key = ""
         record: List[Tuple[str, str]] = []
+        record_start = 0
+        skipping = False  # tolerant mode: discard until the next blank line
 
         def flush() -> None:
-            if record:
-                self._add_record(graph, collection, types, id_key, list(record))
+            nonlocal skipping
+            if skipping:
                 record.clear()
+                skipping = False
+                return
+            if not record:
+                return
+            try:
+                self._add_record(graph, collection, types, id_key, list(record))
+                if report is not None:
+                    report.admitted += 1
+            except (StrudelError, ValueError) as error:
+                locator = f"record at line {record_start}"
+                if on_error is None:
+                    message = getattr(error, "base_message", "") or str(error)
+                    raise WrapperError(
+                        message, locator=locator, cause=error
+                    ) from error
+                snippet = "\n".join(f"{k}: {v}" for k, v in record)
+                on_error(locator, error, snippet)
+            record.clear()
 
         for line_no, line in enumerate(self.text.splitlines(), start=1):
             if line.startswith("#"):
@@ -61,22 +103,47 @@ class StructuredFileWrapper(Wrapper):
             if not line.strip():
                 flush()
                 continue
+            if skipping:
+                continue
             if line.startswith("%"):
                 flush()
-                collection, id_key = self._directive(
-                    line, line_no, collection, types, id_key
-                )
-                continue
-            if line[0].isspace():
-                if not record:
-                    raise WrapperError(
-                        f"continuation line with no record (line {line_no})"
+                try:
+                    collection, id_key = self._directive(
+                        line, line_no, collection, types, id_key
                     )
-                key, value = record[-1]
-                record[-1] = (key, value + " " + line.strip())
+                except WrapperError as error:
+                    if on_error is None:
+                        raise WrapperError(
+                            error.base_message,
+                            locator=f"line {line_no}",
+                            cause=error,
+                        ) from error
+                    on_error(f"line {line_no}", error, line.strip())
                 continue
-            if ":" not in line:
-                raise WrapperError(f"expected 'key: value' (line {line_no}): {line!r}")
+            try:
+                if line[0].isspace():
+                    if not record:
+                        raise WrapperError("continuation line with no record")
+                    key, value = record[-1]
+                    record[-1] = (key, value + " " + line.strip())
+                    continue
+                if ":" not in line:
+                    raise WrapperError(f"expected 'key: value': {line.strip()!r}")
+            except WrapperError as error:
+                if on_error is None:
+                    raise WrapperError(
+                        error.base_message, locator=f"line {line_no}", cause=error
+                    ) from error
+                start = record_start or line_no
+                on_error(
+                    f"record at line {start}", error,
+                    "\n".join([f"{k}: {v}" for k, v in record] + [line.strip()]),
+                )
+                record.clear()
+                skipping = True
+                continue
+            if not record:
+                record_start = line_no
             key, _, value = line.partition(":")
             record.append((key.strip(), value.strip()))
         flush()
@@ -91,7 +158,7 @@ class StructuredFileWrapper(Wrapper):
     ) -> Tuple[str, str]:
         words = line[1:].split()
         if not words:
-            raise WrapperError(f"empty directive (line {line_no})")
+            raise WrapperError("empty directive")
         name = words[0].lower()
         if name == "collection" and len(words) == 2:
             return words[1], id_key
@@ -100,7 +167,7 @@ class StructuredFileWrapper(Wrapper):
             return collection, id_key
         if name == "id" and len(words) == 2:
             return collection, words[1]
-        raise WrapperError(f"bad directive (line {line_no}): {line!r}")
+        raise WrapperError(f"bad directive: {line!r}")
 
     def _add_record(
         self,

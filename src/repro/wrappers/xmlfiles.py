@@ -68,7 +68,12 @@ class XmlWrapper(Wrapper):
         try:
             root = ElementTree.fromstring(self.text)
         except ElementTree.ParseError as error:
-            raise WrapperError(f"malformed XML: {error}") from error
+            line, _ = getattr(error, "position", (0, 0))
+            raise WrapperError(
+                f"malformed XML: {error}",
+                locator=f"line {line}" if line else "",
+                cause=error,
+            ) from error
         collection_tags = self.collection_tags
         if collection_tags is None:
             collection_tags = sorted({child.tag for child in root})
