@@ -315,12 +315,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{run}: plan_cache_hits={metrics.plan_cache_hits} "
                 f"plan_cache_misses={metrics.plan_cache_misses} "
                 f"stats_snapshots={metrics.stats_snapshots} "
-                f"conditions_evaluated={metrics.conditions_evaluated}"
+                f"conditions_evaluated={metrics.conditions_evaluated} "
+                f"hash_join_probes={metrics.hash_join_probes} "
+                f"dedup_hits={metrics.dedup_hits} "
+                f"path_memo_hits={metrics.path_memo_hits}"
             )
         cache = engine.plan_cache.stats()
         print(
             f"plan cache: hits={cache['hits']} misses={cache['misses']} "
-            f"plans={cache['plans']} nfas={cache['nfas']}"
+            f"plans={cache['plans']} nfas={cache['nfas']} "
+            f"path_hits={cache['path_hits']} path_misses={cache['path_misses']} "
+            f"path_entries={cache['path_entries']}"
         )
     from .repository import statistics_refresh_counters
 

@@ -116,6 +116,7 @@ class DynamicSite:
         data_graph: Graph,
         cache: bool = True,
         lookahead: bool = False,
+        use_blocks: bool = True,
     ) -> None:
         if isinstance(program, str):
             program = parse(program)
@@ -127,7 +128,9 @@ class DynamicSite:
         self.cache_enabled = cache
         self.lookahead = lookahead
         self.metrics = ClickMetrics()
-        self._engine = QueryEngine(data_graph)
+        # set-at-a-time evaluation by default; use_blocks=False is the
+        # row-at-a-time ablation, end to end through the click path
+        self._engine = QueryEngine(data_graph, use_blocks=use_blocks)
         #: key -> (expanded edges, read footprint, owning instance)
         self._edge_cache: Dict[
             Tuple[int, InstanceArgs], Tuple[List[ExpandedEdge], Footprint, NodeInstance]

@@ -86,6 +86,7 @@ class SiteMaintainer:
         program: Union[Program, Query, str],
         data_graph: Graph,
         site_graph: Optional[Graph] = None,
+        use_blocks: bool = True,
     ) -> None:
         if isinstance(program, str):
             program = parse(program)
@@ -93,9 +94,10 @@ class SiteMaintainer:
             program = Program(queries=[program])
         self.program = program
         self.data_graph = data_graph
-        # one warm engine for every maintenance pass: plans and the
-        # statistics snapshot carry across updates (epoch-invalidated)
-        self._engine = QueryEngine(data_graph)
+        # one warm engine for every maintenance pass: plans, the
+        # statistics snapshot, and the path-reachability memo carry
+        # across updates (epoch-invalidated); set-at-a-time by default
+        self._engine = QueryEngine(data_graph, use_blocks=use_blocks)
         if site_graph is None:
             site_graph = self._evaluate_all()
         self.site_graph = site_graph

@@ -133,8 +133,9 @@ class RegeneratingSite:
         templates: TemplateSet,
         roots: Sequence[Union[Oid, str]],
         site_name: str = "site",
+        use_blocks: bool = True,
     ) -> None:
-        self.maintainer = SiteMaintainer(program, data_graph)
+        self.maintainer = SiteMaintainer(program, data_graph, use_blocks=use_blocks)
         self.templates = templates
         self.roots = list(roots)
         self.site_name = site_name

@@ -26,6 +26,7 @@ maintains, incrementally, a label extent index, a reverse-adjacency index
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..errors import GraphError, UnknownObjectError
@@ -181,6 +182,11 @@ class Graph:
             stored = from_python(target)
         if not isinstance(label, str) or not label:
             raise GraphError(f"edge label must be a non-empty string, got {label!r}")
+        # Intern at load time: a site graph repeats a small label
+        # vocabulary across millions of edges, and interning makes every
+        # downstream label compare/hash (index probes, NFA label tests)
+        # an identity check on a shared object.
+        label = sys.intern(label)
 
         pair = (source, stored)
         label_extent = self._by_label.setdefault(label, {})

@@ -33,6 +33,16 @@ class Oid:
 
     name: str
 
+    def __hash__(self) -> int:
+        # oids live in every binding tuple; skip the generated hash's
+        # per-call tuple construction by caching the name's hash
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(self.name)
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def __str__(self) -> str:
         return self.name
 

@@ -81,6 +81,18 @@ class Atom:
                 f"atom payload must be str/int/float/bool, got {type(self.value).__name__}"
             )
 
+    def __hash__(self) -> int:
+        # atoms are hashed millions of times inside binding-tuple rows
+        # (dedup, hash joins, indexes); the generated dataclass hash
+        # re-hashes the enum member -- a Python-level call -- every
+        # time, so memoize the result on the (frozen) instance
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.type, self.value))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def __str__(self) -> str:
         return str(self.value)
 

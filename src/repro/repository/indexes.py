@@ -167,6 +167,13 @@ class IndexStatistics:
         """Mean out-degree, the branching factor for path expansion."""
         return self.edge_count / self.node_count if self.node_count else 0.0
 
+    def average_in_degree(self) -> float:
+        """Mean in-degree over every edge target (nodes *and* atoms) --
+        the branching factor for reverse path expansion, which walks the
+        reverse adjacency index."""
+        targets = self.node_count + self.distinct_atoms
+        return self.edge_count / targets if targets else 0.0
+
 
 #: process-wide refresh counters, surfaced by ``repro stats``
 _refresh_counters = {"stats_full_snapshots": 0, "stats_delta_refreshes": 0}

@@ -49,12 +49,28 @@ from .builtins import (
     register_label_predicate,
     register_object_predicate,
 )
-from .eval import Binding, Metrics, QueryEngine, Value, evaluate, query_bindings
+from .eval import (
+    Binding,
+    Metrics,
+    OperatorStats,
+    QueryEngine,
+    Value,
+    evaluate,
+    query_bindings,
+)
 from .explain import explain
 from .footprint import Footprint, path_alphabet
-from .optimizer import estimate_cost, order_conditions
+from .optimizer import choose_path_direction, estimate_cost, order_conditions
 from .parser import parse, parse_query, validate_query
-from .paths import compile_path, path_exists, reverse_expr, sources_to, targets_from
+from .paths import (
+    compile_path,
+    path_exists,
+    reverse_expr,
+    sources_to,
+    sources_to_many,
+    targets_from,
+    targets_from_many,
+)
 from .plancache import PlanCache, clear_plan_cache, global_plan_cache
 
 __all__ = [
@@ -74,6 +90,7 @@ __all__ = [
     "LinkClause",
     "Metrics",
     "NotCond",
+    "OperatorStats",
     "PathCond",
     "PathExpr",
     "PlanCache",
@@ -91,6 +108,7 @@ __all__ = [
     "any_label",
     "any_path",
     "arc",
+    "choose_path_direction",
     "clear_plan_cache",
     "compile_path",
     "const",
@@ -114,6 +132,8 @@ __all__ = [
     "register_object_predicate",
     "reverse_expr",
     "sources_to",
+    "sources_to_many",
     "targets_from",
+    "targets_from_many",
     "validate_query",
 ]

@@ -31,7 +31,19 @@ labels -- "elements of the graph's schema").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from functools import lru_cache
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..errors import (
     ImmutableNodeError,
@@ -59,9 +71,25 @@ from .ast import (
     Var,
 )
 from .footprint import Footprint, path_alphabet
-from .optimizer import order_conditions, shared_not_variables
+from .optimizer import (
+    DedupFactors,
+    choose_path_direction,
+    learn_dedup_factor,
+    order_conditions,
+    shared_not_variables,
+    significant_dedup_factor,
+)
 from .parser import parse
-from .paths import NFA, compile_path, path_exists, reverse_expr, sources_to, targets_from
+from .paths import (
+    NFA,
+    compile_path,
+    path_exists,
+    reverse_expr,
+    sources_to,
+    sources_to_many,
+    targets_from,
+    targets_from_many,
+)
 from .plancache import PlanCache, global_plan_cache
 
 #: A binding value: node oid, atomic value, or arc-variable label.
@@ -86,6 +114,31 @@ class Metrics:
     stats_snapshots: int = 0
     #: pages rendered by worker threads during parallel site generation
     pages_rendered_parallel: int = 0
+    #: block-mode rows answered from a per-distinct-key cache instead of
+    #: re-probing the indexes
+    dedup_hits: int = 0
+    #: block-mode index probes actually executed (one per distinct key)
+    hash_join_probes: int = 0
+    #: path endpoints answered from the shared reachability memo
+    path_memo_hits: int = 0
+    #: path endpoints that had to run the batched product-automaton search
+    path_memo_misses: int = 0
+
+
+@dataclass
+class OperatorStats:
+    """Row counts of one block operator in a block-mode ``bindings`` call.
+
+    ``probes`` is how many distinct-key index probes the operator ran;
+    ``dedup_hits`` is how many input rows were answered from its per-key
+    cache instead.  EXPLAIN renders these per plan step.
+    """
+
+    condition: str
+    rows_in: int
+    rows_out: int
+    probes: int
+    dedup_hits: int
 
 
 # ---------------------------------------------------------------------- #
@@ -110,16 +163,23 @@ def _values_equal(left: Value, right: Value) -> bool:
     return atoms_equal(left_atom, right_atom)
 
 
-def _coercion_probes(value: Value) -> List[Atom]:
+def _coercion_probes(value: Value) -> Tuple[Atom, ...]:
     """Atoms to probe in exact-match indexes for a coercing equality.
 
     The reverse-adjacency (value) index is exact, but STRUQL equality
     coerces; so a constant ``"1998"`` must also probe the INTEGER and
-    FLOAT spellings, and vice versa.
+    FLOAT spellings, and vice versa.  Memoized per distinct atom: the
+    same constant is probed for every frontier row, and the spelling
+    set never changes.
     """
     atom = _as_atom(value)
     if atom is None:
-        return []
+        return ()
+    return _atom_coercion_probes(atom)
+
+
+@lru_cache(maxsize=4096)
+def _atom_coercion_probes(atom: Atom) -> Tuple[Atom, ...]:
     probes: List[Atom] = [atom]
     number = atom.as_number()
     if number is not None:
@@ -139,7 +199,7 @@ def _coercion_probes(value: Value) -> List[Atom]:
             candidate = Atom(atom_type, text)
             if candidate not in probes:
                 probes.append(candidate)
-    return probes
+    return tuple(probes)
 
 
 # ---------------------------------------------------------------------- #
@@ -150,6 +210,33 @@ _UNSET = object()
 
 #: A tuple row: one slot per variable of the frame, ``_UNSET`` if unbound.
 Row = Tuple[object, ...]
+
+
+def _record_edge_footprint(
+    footprint: Footprint,
+    source_value: Optional[Value],
+    label_value: Optional[str],
+    target_value: Optional[Value],
+) -> None:
+    """Semantic dependence of one edge-condition bound/unbound pattern;
+    recorded before any index-vs-scan branch so every execution mode
+    (row, block, naive) agrees on the footprint."""
+    if source_value is not None:
+        if isinstance(source_value, Oid):
+            if label_value is not None:
+                footprint.edge_reads.add((source_value, label_value))
+            else:
+                footprint.oid_reads_all.add(source_value)
+    elif target_value is not None:
+        if isinstance(target_value, Oid):
+            footprint.value_probes.add((target_value, label_value))
+        else:
+            for probe_atom in _coercion_probes(target_value):
+                footprint.value_probes.add((probe_atom, label_value))
+    elif label_value is not None:
+        footprint.label_scans.add(label_value)
+    else:
+        footprint.all_edges = True
 
 
 class _Frame:
@@ -203,15 +290,22 @@ class _Frame:
         value = row[index]
         return None if value is _UNSET else value  # type: ignore[return-value]
 
-    def unique_dicts(self, rows: List[Row]) -> List[Binding]:
-        """Deduplicate (first occurrence wins) and convert to dicts."""
-        seen: Set[Row] = set()
-        out: List[Binding] = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                out.append(self.to_dict(row))
-        return out
+    def unique_dicts(self, rows: List[Row], fully_bound: bool = False) -> List[Binding]:
+        """Deduplicate (first occurrence wins) and convert to dicts.
+
+        One hashed pass: ``dict.fromkeys`` preserves first-occurrence
+        order and hashes each tuple row exactly once, instead of the
+        probe-then-insert double hash of a seen-set loop.
+
+        ``fully_bound=True`` promises no row contains ``_UNSET`` (no
+        negation inner variables, no partially bound seeds), letting
+        conversion skip the per-slot filter for a C-level ``dict(zip)``.
+        """
+        if fully_bound:
+            names = self.names
+            return [dict(zip(names, row)) for row in dict.fromkeys(rows)]
+        to_dict = self.to_dict
+        return [to_dict(row) for row in dict.fromkeys(rows)]
 
 
 class _FootprintScope:
@@ -238,7 +332,18 @@ class QueryEngine:
 
     ``optimize=False`` keeps the written condition order;
     ``use_indexes=False`` additionally replaces index lookups with full
-    scans (the E5 ablation baseline).  Both default on.
+    scans (the E5 ablation baseline).  ``use_blocks=False`` falls back
+    to tuple-at-a-time extension -- the set-at-a-time ablation baseline;
+    in block mode (the default) each planned condition consumes the
+    whole frontier at once, probing the indexes once per *distinct*
+    bound key and hash-joining the results back onto the rows, and path
+    conditions batch all their endpoints into one origin-tagged
+    product-automaton search backed by a per-``(NFA, graph epoch)``
+    reachability memo.  Both modes produce identical binding relations
+    (same rows, same order).  Block mode also *learns* per-condition
+    dedup factors (distinct keys / input rows); ``adaptive=True``
+    additionally feeds them back into clause ordering, trading
+    warm-vs-cold row-order determinism for batch-aware plans.
 
     Construction is O(1): statistics come lazily from the shared
     epoch-stamped provider (:func:`~repro.repository.indexes.graph_statistics`)
@@ -257,14 +362,28 @@ class QueryEngine:
         stats: Optional[IndexStatistics] = None,
         metrics: Optional[Metrics] = None,
         plan_cache: Optional[PlanCache] = None,
+        use_blocks: bool = True,
+        adaptive: bool = False,
     ) -> None:
         self.graph = graph
         self.optimize = optimize
         self.use_indexes = use_indexes
+        self.use_blocks = use_blocks
+        #: feed learned dedup factors back into clause ordering.  Off by
+        #: default: replanning with learned factors can reorder the
+        #: binding relation (same set, different row order), and warm
+        #: engines are expected to reproduce a cold engine's output
+        #: byte-for-byte unless the caller opts into adaptivity.
+        self.adaptive = adaptive
         self._explicit_stats = stats
         self._seen_stats: Optional[IndexStatistics] = None
         self.metrics = metrics if metrics is not None else Metrics()
         self.plan_cache = plan_cache if plan_cache is not None else global_plan_cache()
+        #: learned per-condition dedup ratios, fed back into the planner
+        self.dedup_factors: DedupFactors = {}
+        #: per-operator row counts of the most recent block-mode
+        #: top-level ``bindings`` call (EXPLAIN renders these)
+        self.last_operator_stats: List[OperatorStats] = []
         #: when set, every condition evaluated records its semantic
         #: dependence here (see :mod:`repro.struql.footprint`)
         self.footprint: Optional[Footprint] = None
@@ -320,17 +439,61 @@ class QueryEngine:
             ordered = self._plan(conditions, bound)
         else:
             ordered = list(conditions)
+        if self.use_blocks:
+            rows = self._run_blocks(ordered, rows, conditions, frame)
+        else:
+            for condition in ordered:
+                self.metrics.conditions_evaluated += 1
+                next_rows: List[Row] = []
+                extend = self._extend
+                for row in rows:
+                    next_rows.extend(extend(condition, row, conditions, frame))
+                rows = next_rows
+                if not rows:
+                    break
+        self.metrics.bindings_produced += len(rows)
+        # every slot of a surviving row is bound unless a seed row left
+        # one open or a negation carried inner-only variables into the
+        # frame -- outside those, conversion can take the C-level path
+        fully_bound = not bound and not any(
+            isinstance(condition, NotCond) for condition in conditions
+        )
+        return frame.unique_dicts(rows, fully_bound=fully_bound)
+
+    def _run_blocks(
+        self,
+        ordered: Sequence[Condition],
+        rows: List[Row],
+        conditions: Sequence[Condition],
+        frame: _Frame,
+    ) -> List[Row]:
+        """Set-at-a-time pipeline: each condition consumes the whole
+        frontier as one block operator.  Output rows (values and order)
+        are identical to the tuple-at-a-time loop; only the probing
+        collapses -- once per distinct bound key instead of once per
+        row.  Per-operator row counts land in ``last_operator_stats``."""
+        metrics = self.metrics
+        ops: List[OperatorStats] = []
         for condition in ordered:
-            self.metrics.conditions_evaluated += 1
-            next_rows: List[Row] = []
-            extend = self._extend
-            for row in rows:
-                next_rows.extend(extend(condition, row, conditions, frame))
-            rows = next_rows
+            metrics.conditions_evaluated += 1
+            rows_in = len(rows)
+            probes_before = metrics.hash_join_probes
+            dedup_before = metrics.dedup_hits
+            rows = self._apply_block(condition, rows, conditions, frame)
+            ops.append(
+                OperatorStats(
+                    condition=str(condition),
+                    rows_in=rows_in,
+                    rows_out=len(rows),
+                    probes=metrics.hash_join_probes - probes_before,
+                    dedup_hits=metrics.dedup_hits - dedup_before,
+                )
+            )
             if not rows:
                 break
-        self.metrics.bindings_produced += len(rows)
-        return frame.unique_dicts(rows)
+        # assigned last so nested calls (negations) don't clobber it
+        self.last_operator_stats = ops
+        return rows
 
     def _plan(
         self, conditions: Sequence[Condition], bound: frozenset
@@ -339,18 +502,32 @@ class QueryEngine:
 
         The key ties the plan to the exact condition objects, the seed
         binding pattern, the index mode, and the statistics fingerprint
-        ``(graph, epoch)`` -- so any graph mutation invalidates it.
+        ``(graph, epoch)`` -- so any graph mutation invalidates it.  In
+        *adaptive* block mode the learned dedup factors join the key
+        (quantized, so the plan refreshes when the learned ratios move
+        materially, not on every observation) and feed the greedy
+        ordering.
         """
         stats = self.stats
+        factors: Optional[DedupFactors] = None
+        signature: Tuple[Tuple[int, float], ...] = ()
+        if self.use_blocks and self.adaptive and self.dedup_factors:
+            factors = self.dedup_factors
+            pairs = []
+            for index, condition in enumerate(conditions):
+                quantized = significant_dedup_factor(factors.get(condition))
+                if quantized is not None:
+                    pairs.append((index, quantized))
+            signature = tuple(pairs)
         key = PlanCache.plan_key(
-            conditions, bound, self.use_indexes, stats.fingerprint()
+            conditions, bound, self.use_indexes, stats.fingerprint(), signature
         )
         cached = self.plan_cache.get_plan(key)
         if cached is not None:
             self.metrics.plan_cache_hits += 1
             return cached
         self.metrics.plan_cache_misses += 1
-        ordered = order_conditions(conditions, bound, stats, self.use_indexes)
+        ordered = order_conditions(conditions, bound, stats, self.use_indexes, factors)
         self.plan_cache.put_plan(key, conditions, ordered)
         return ordered
 
@@ -447,24 +624,7 @@ class QueryEngine:
 
         footprint = self.footprint
         if footprint is not None:
-            # Semantic dependence of this bound/unbound pattern; recorded
-            # before the index-vs-scan branch so both modes agree.
-            if source_value is not None:
-                if isinstance(source_value, Oid):
-                    if label_value is not None:
-                        footprint.edge_reads.add((source_value, label_value))
-                    else:
-                        footprint.oid_reads_all.add(source_value)
-            elif target_value is not None:
-                if isinstance(target_value, Oid):
-                    footprint.value_probes.add((target_value, label_value))
-                else:
-                    for probe_atom in _coercion_probes(target_value):
-                        footprint.value_probes.add((probe_atom, label_value))
-            elif label_value is not None:
-                footprint.label_scans.add(label_value)
-            else:
-                footprint.all_edges = True
+            _record_edge_footprint(footprint, source_value, label_value, target_value)
 
         def emit(source: Oid, label: str, edge_target: Target) -> Iterator[Row]:
             new = list(row)
@@ -703,6 +863,587 @@ class QueryEngine:
         if not inner_rows:
             yield row
 
+    # ------------------------------------------------------------ #
+    # block operators (set-at-a-time execution)
+    #
+    # Each operator consumes the whole frontier, probes the graph once
+    # per *distinct* bound key, and hash-joins the materialized matches
+    # back onto the rows.  Match lists preserve the row-at-a-time probe
+    # order and rows are processed in frontier order, so the output is
+    # identical (values and order) to the tuple-at-a-time loop.
+
+    def _apply_block(
+        self,
+        condition: Condition,
+        rows: List[Row],
+        siblings: Sequence[Condition],
+        frame: _Frame,
+    ) -> List[Row]:
+        if isinstance(condition, CollectionCond):
+            return self._block_collection(condition, rows, frame)
+        if isinstance(condition, EdgeCond):
+            return self._block_edge(condition, rows, frame)
+        if isinstance(condition, PathCond):
+            return self._block_path(condition, rows, frame)
+        if isinstance(condition, ComparisonCond):
+            return self._block_comparison(condition, rows, frame)
+        if isinstance(condition, PredicateCond):
+            return self._block_predicate(condition, rows, frame)
+        if isinstance(condition, NotCond):
+            return self._block_not(condition, rows, siblings, frame)
+        raise StruqlEvaluationError(f"unknown condition type: {condition!r}")
+
+    def _block_collection(
+        self, condition: CollectionCond, rows: List[Row], frame: _Frame
+    ) -> List[Row]:
+        index = frame.slots[condition.var.name]
+        name = condition.collection
+        graph = self.graph
+        footprint = self.footprint
+        metrics = self.metrics
+        members: Optional[List[Target]] = None
+        verdicts: Dict[object, bool] = {}
+        out: List[Row] = []
+        for row in rows:
+            value = row[index]
+            if value is _UNSET:
+                if footprint is not None:
+                    footprint.collection_scans.add(name)
+                if members is None:
+                    members = graph.collection(name)
+                    metrics.hash_join_probes += 1
+                else:
+                    metrics.dedup_hits += 1
+                prefix, suffix = row[:index], row[index + 1:]
+                for member in members:
+                    out.append(prefix + (member,) + suffix)
+                continue
+            if footprint is not None and isinstance(value, Oid):
+                footprint.membership_reads.add((name, value))
+            verdict = verdicts.get(value, _UNSET)
+            if verdict is _UNSET:
+                if self.use_indexes:
+                    verdict = isinstance(value, Oid) and graph.in_collection(name, value)
+                else:
+                    if members is None:
+                        members = graph.collection(name)
+                    verdict = value in members
+                verdicts[value] = verdict
+                metrics.hash_join_probes += 1
+            else:
+                metrics.dedup_hits += 1
+            if verdict:
+                out.append(row)
+        distinct = len(verdicts) + (1 if members is not None else 0)
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), distinct)
+        return out
+
+    def _block_edge(
+        self, condition: EdgeCond, rows: List[Row], frame: _Frame
+    ) -> List[Row]:
+        slots = frame.slots
+        source_index = slots[condition.source.name]
+        label_const = condition.label if isinstance(condition.label, str) else None
+        arc_index = (
+            slots[condition.label.name] if isinstance(condition.label, Var) else None
+        )
+        target = condition.target
+        if isinstance(target, Const):
+            target_slot: Optional[int] = None
+            target_const: Optional[Value] = target.atom
+        else:
+            target_slot = slots[target.name]
+            target_const = None
+        footprint = self.footprint
+        metrics = self.metrics
+        # distinct (source, label, target) key -> materialized matches;
+        # the key determines which slots are unbound, so every row
+        # sharing a key also shares its write mask
+        cache: Dict[Tuple[object, object, object], List[Tuple[Oid, str, Target]]] = {}
+        out: List[Row] = []
+        for row in rows:
+            if arc_index is not None:
+                bound_label = row[arc_index]
+                if bound_label is _UNSET:
+                    label_value: Optional[str] = None
+                    label_unbound = True
+                elif isinstance(bound_label, str):
+                    label_value, label_unbound = bound_label, False
+                elif isinstance(bound_label, Atom):
+                    label_value, label_unbound = bound_label.as_string(), False
+                else:
+                    continue  # arc variable bound to an oid: nothing matches
+            else:
+                label_value, label_unbound = label_const, False
+            source_value = row[source_index]
+            if source_value is _UNSET:
+                source_value = None
+            if target_slot is not None:
+                target_value = row[target_slot]
+                if target_value is _UNSET:
+                    target_value = None
+            else:
+                target_value = target_const
+            if footprint is not None:
+                _record_edge_footprint(footprint, source_value, label_value, target_value)
+            key = (source_value, label_value, target_value)
+            matches = cache.get(key)
+            if matches is None:
+                matches = self._edge_matches(source_value, label_value, target_value)
+                cache[key] = matches
+                metrics.hash_join_probes += 1
+            else:
+                metrics.dedup_hits += 1
+            if not matches:
+                continue
+            set_source = source_value is None
+            set_target = target_value is None and target_slot is not None
+            if not set_source and not label_unbound and not set_target:
+                # pure filter: the row survives once per matching edge
+                if len(matches) == 1:
+                    out.append(row)
+                else:
+                    out.extend([row] * len(matches))
+                continue
+            # the write mask is constant per key, so one mutable copy
+            # serves every match of this row
+            new = list(row)
+            for source, label, edge_target in matches:
+                if set_source:
+                    new[source_index] = source
+                if label_unbound:
+                    new[arc_index] = label
+                if set_target:
+                    new[target_slot] = edge_target
+                out.append(tuple(new))
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), len(cache))
+        return out
+
+    def _edge_matches(
+        self,
+        source_value: Optional[Value],
+        label_value: Optional[str],
+        target_value: Optional[Value],
+    ) -> List[Tuple[Oid, str, Target]]:
+        """Materialized matches of one distinct edge-probe key, in exactly
+        the order the row-at-a-time probe yields them."""
+        graph = self.graph
+        metrics = self.metrics
+        matches: List[Tuple[Oid, str, Target]] = []
+        if not self.use_indexes:
+            for source, label, edge_target in graph.edges():
+                metrics.edges_examined += 1
+                if source_value is not None and source != source_value:
+                    continue
+                if label_value is not None and label != label_value:
+                    continue
+                if target_value is not None and not _values_equal(edge_target, target_value):
+                    continue
+                matches.append((source, label, edge_target))
+            return matches
+        if source_value is not None:
+            if not isinstance(source_value, Oid) or not graph.has_node(source_value):
+                return matches
+            if label_value is not None:
+                candidates: Iterable[Tuple[str, Target]] = (
+                    (label_value, t) for t in graph.targets(source_value, label_value)
+                )
+            else:
+                candidates = graph.out_edges(source_value)
+            for label, edge_target in candidates:
+                metrics.edges_examined += 1
+                if target_value is not None and not _values_equal(edge_target, target_value):
+                    continue
+                matches.append((source_value, label, edge_target))
+            return matches
+        if target_value is not None:
+            probes: Sequence[Target]
+            if isinstance(target_value, Oid):
+                probes = (target_value,)
+            else:
+                probes = _coercion_probes(target_value)
+            seen: Set[Tuple[Oid, str]] = set()
+            for probe in probes:
+                for source, label in graph.in_edges(probe):
+                    metrics.edges_examined += 1
+                    if label_value is not None and label != label_value:
+                        continue
+                    if (source, label) in seen:
+                        continue
+                    seen.add((source, label))
+                    matches.append((source, label, probe))
+            return matches
+        if label_value is not None:
+            for source, edge_target in graph.edges_with_label(label_value):
+                metrics.edges_examined += 1
+                matches.append((source, label_value, edge_target))
+            return matches
+        for source, label, edge_target in graph.edges():
+            metrics.edges_examined += 1
+            matches.append((source, label, edge_target))
+        return matches
+
+    def _block_comparison(
+        self, condition: ComparisonCond, rows: List[Row], frame: _Frame
+    ) -> List[Row]:
+        left_term, right_term = condition.left, condition.right
+        left_const = left_term.atom if isinstance(left_term, Const) else None
+        left_slot = None if isinstance(left_term, Const) else frame.slots[left_term.name]
+        right_const = right_term.atom if isinstance(right_term, Const) else None
+        right_slot = (
+            None if isinstance(right_term, Const) else frame.slots[right_term.name]
+        )
+        op = condition.op
+        metrics = self.metrics
+        verdicts: Dict[Tuple[object, object], object] = {}
+        out: List[Row] = []
+        for row in rows:
+            if left_slot is None:
+                left: Optional[Value] = left_const
+            else:
+                left = None if row[left_slot] is _UNSET else row[left_slot]  # type: ignore[assignment]
+            if right_slot is None:
+                right: Optional[Value] = right_const
+            else:
+                right = None if row[right_slot] is _UNSET else row[right_slot]  # type: ignore[assignment]
+            if left is None and right is None:
+                raise StruqlEvaluationError(
+                    f"comparison {condition} has no bound side; "
+                    "reorder the query or enable the optimizer"
+                )
+            if left is None or right is None:
+                if op != "=":
+                    raise StruqlEvaluationError(
+                        f"order comparison {condition} requires both sides bound"
+                    )
+                index = left_slot if left is None else right_slot
+                bound_value = right if left is None else left
+                assert index is not None and bound_value is not None
+                out.append(row[:index] + (bound_value,) + row[index + 1:])
+                continue
+            key = (left, right)
+            verdict = verdicts.get(key, _UNSET)
+            if verdict is _UNSET:
+                verdict = self._compare(left, right, op)
+                verdicts[key] = verdict
+                metrics.hash_join_probes += 1
+            else:
+                metrics.dedup_hits += 1
+            if verdict:
+                out.append(row)
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), len(verdicts))
+        return out
+
+    def _block_predicate(
+        self, condition: PredicateCond, rows: List[Row], frame: _Frame
+    ) -> List[Row]:
+        index = frame.slots[condition.var.name]
+        metrics = self.metrics
+        predicate = None
+        verdicts: Dict[object, object] = {}
+        out: List[Row] = []
+        for row in rows:
+            value = row[index]
+            if value is _UNSET:
+                raise StruqlEvaluationError(
+                    f"predicate {condition} applied to unbound variable"
+                )
+            if predicate is None:
+                predicate = builtins.object_predicate(condition.name)
+                if predicate is None:
+                    raise StruqlEvaluationError(
+                        f"unknown predicate {condition.name!r}"
+                    )
+            verdict = verdicts.get(value, _UNSET)
+            if verdict is _UNSET:
+                probe: object = value
+                if isinstance(value, str):
+                    probe = Atom(AtomType.STRING, value)
+                verdict = predicate(probe)
+                verdicts[value] = verdict
+                metrics.hash_join_probes += 1
+            else:
+                metrics.dedup_hits += 1
+            if verdict:
+                out.append(row)
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), len(verdicts))
+        return out
+
+    def _block_not(
+        self,
+        condition: NotCond,
+        rows: List[Row],
+        siblings: Sequence[Condition],
+        frame: _Frame,
+    ) -> List[Row]:
+        needed = shared_not_variables(condition, siblings)
+        slots = frame.slots
+        # the inner conditions only mention the negation's own variables,
+        # so rows agreeing on that projection share one verdict
+        negation_vars = condition.variables()
+        proj = [name for name in frame.names if name in negation_vars]
+        proj_slots = [slots[name] for name in proj]
+        inner = list(condition.inner)
+        metrics = self.metrics
+        verdicts: Dict[Tuple[object, ...], object] = {}
+        out: List[Row] = []
+        for row in rows:
+            missing = [name for name in needed if frame.get(row, name) is None]
+            if missing:
+                raise StruqlEvaluationError(
+                    f"negation {condition} checked before {missing} were bound"
+                )
+            key = tuple(row[i] for i in proj_slots)
+            verdict = verdicts.get(key, _UNSET)
+            if verdict is _UNSET:
+                seed = {
+                    name: row[i]
+                    for name, i in zip(proj, proj_slots)
+                    if row[i] is not _UNSET
+                }
+                verdict = not self.bindings(inner, initial=[seed])
+                verdicts[key] = verdict
+                metrics.hash_join_probes += 1
+            else:
+                metrics.dedup_hits += 1
+            if verdict:
+                out.append(row)
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), len(verdicts))
+        return out
+
+    def _block_path(
+        self, condition: PathCond, rows: List[Row], frame: _Frame
+    ) -> List[Row]:
+        forward, backward = self._nfas(condition.path)
+        slots = frame.slots
+        source_index = slots[condition.source.name]
+        target = condition.target
+        if isinstance(target, Const):
+            target_slot: Optional[int] = None
+            target_const: Optional[Value] = target.atom
+        else:
+            target_slot = slots[target.name]
+            target_const = None
+        graph = self.graph
+        footprint = self.footprint
+        metrics = self.metrics
+        use_indexes = self.use_indexes
+        alphabet_known = False
+        alphabet: Optional[Set[str]] = None
+
+        # ---- pass 1: resolve endpoints, record footprints, and gather
+        # the distinct seeds each direction's batched search needs
+        resolved: List[Tuple[Optional[Value], Optional[Value]]] = []
+        distinct_keys: Set[Tuple[object, object]] = set()
+        forward_seeds: Dict[Oid, None] = {}
+        backward_seeds: Dict[Target, None] = {}
+        pair_rows: Dict[Tuple[Value, Value], None] = {}
+        target_only: Dict[Value, None] = {}
+        probe_lists: Dict[Value, Tuple[Target, ...]] = {}
+        enumerate_all = False
+
+        def probes_for(value: Value) -> Tuple[Target, ...]:
+            cached = probe_lists.get(value)
+            if cached is None:
+                if isinstance(value, Oid):
+                    cached = (value,)
+                else:
+                    cached = tuple(_coercion_probes(value))
+                probe_lists[value] = cached
+            return cached
+
+        for row in rows:
+            source_value = row[source_index]
+            if source_value is _UNSET:
+                source_value = None
+            if target_slot is not None:
+                target_value = row[target_slot]
+                if target_value is _UNSET:
+                    target_value = None
+            else:
+                target_value = target_const
+            resolved.append((source_value, target_value))
+            key = (source_value, target_value)
+            if key in distinct_keys:
+                metrics.dedup_hits += 1
+            else:
+                distinct_keys.add(key)
+            if footprint is not None:
+                # Conservative: a path depends on its whole label alphabet
+                # plus zero-length existence checks on its endpoints;
+                # wildcards widen to all edges.
+                if source_value is None and target_value is None:
+                    footprint.all_edges = True
+                else:
+                    if not alphabet_known:
+                        alphabet = path_alphabet(condition.path)
+                        alphabet_known = True
+                    if alphabet is None:
+                        footprint.all_edges = True
+                    else:
+                        footprint.label_scans |= alphabet
+                    if isinstance(source_value, Oid):
+                        footprint.node_checks.add(source_value)
+                    if isinstance(target_value, Oid):
+                        footprint.node_checks.add(target_value)
+            if source_value is not None:
+                if not isinstance(source_value, Oid) or not graph.has_node(source_value):
+                    continue  # this row can never match
+                if target_value is None:
+                    forward_seeds[source_value] = None
+                else:
+                    pair_rows[(source_value, target_value)] = None
+            elif target_value is not None:
+                target_only[target_value] = None
+            else:
+                enumerate_all = True
+
+        # fully-bound checks can search from either side; let the
+        # optimizer pick the cheaper frontier from the statistics
+        pair_direction = "forward"
+        if pair_rows and use_indexes:
+            pair_direction = choose_path_direction(
+                len({sv for sv, _ in pair_rows}),
+                len({tv for _, tv in pair_rows}),
+                self.stats,
+            )
+        if pair_rows:
+            if pair_direction == "forward":
+                for sv, _ in pair_rows:
+                    forward_seeds[sv] = None
+            else:
+                for _, tv in pair_rows:
+                    for probe in probes_for(tv):
+                        backward_seeds[probe] = None
+        if use_indexes:
+            for tv in target_only:
+                for probe in probes_for(tv):
+                    backward_seeds[probe] = None
+        all_nodes: List[Oid] = []
+        if enumerate_all or (target_only and not use_indexes):
+            all_nodes = list(graph.nodes())
+            for node in all_nodes:
+                forward_seeds[node] = None
+
+        forward_map: Dict[object, Tuple[object, ...]] = {}
+        if forward_seeds:
+            forward_map = self._path_reach(forward, list(forward_seeds), backward=False)
+        backward_map: Dict[object, Tuple[object, ...]] = {}
+        if backward_seeds:
+            backward_map = self._path_reach(backward, list(backward_seeds), backward=True)
+
+        forward_sets: Dict[object, FrozenSet[object]] = {}
+
+        def forward_set(seed: object) -> FrozenSet[object]:
+            cached = forward_sets.get(seed)
+            if cached is None:
+                cached = forward_sets[seed] = frozenset(forward_map[seed])
+            return cached
+
+        backward_sets: Dict[object, FrozenSet[object]] = {}
+
+        def backward_set(seed: object) -> FrozenSet[object]:
+            cached = backward_sets.get(seed)
+            if cached is None:
+                cached = backward_sets[seed] = frozenset(backward_map[seed])
+            return cached
+
+        # ---- pass 2: emit per row, in frontier order, from the shared
+        # per-distinct-key results
+        pair_verdicts: Dict[Tuple[Value, Value], bool] = {}
+        tv_sources: Dict[Value, Tuple[Oid, ...]] = {}
+        out: List[Row] = []
+        for row, (source_value, target_value) in zip(rows, resolved):
+            if source_value is not None:
+                if not isinstance(source_value, Oid) or not graph.has_node(source_value):
+                    continue
+                if target_value is not None:
+                    pair = (source_value, target_value)
+                    verdict = pair_verdicts.get(pair)
+                    if verdict is None:
+                        probes = probes_for(target_value)
+                        if pair_direction == "forward":
+                            reach = forward_set(source_value)
+                            verdict = any(p in reach for p in probes)
+                        else:
+                            verdict = any(
+                                source_value in backward_set(p) for p in probes
+                            )
+                        pair_verdicts[pair] = verdict
+                    if verdict:
+                        out.append(row)
+                    continue
+                assert target_slot is not None
+                prefix, suffix = row[:target_slot], row[target_slot + 1:]
+                for reached in forward_map[source_value]:
+                    out.append(prefix + (reached,) + suffix)
+                continue
+            if target_value is not None:
+                sources = tv_sources.get(target_value)
+                if sources is None:
+                    found: Dict[Oid, None] = {}
+                    if use_indexes:
+                        for probe in probes_for(target_value):
+                            for source in backward_map[probe]:
+                                found.setdefault(source, None)
+                    else:
+                        probes = probes_for(target_value)
+                        for node in all_nodes:
+                            if any(p in forward_set(node) for p in probes):
+                                found.setdefault(node, None)
+                    sources = tuple(found)
+                    tv_sources[target_value] = sources
+                prefix, suffix = row[:source_index], row[source_index + 1:]
+                for source in sources:
+                    out.append(prefix + (source,) + suffix)
+                continue
+            assert target_slot is not None
+            for source in all_nodes:
+                for reached in forward_map[source]:
+                    new = list(row)
+                    new[source_index] = source
+                    new[target_slot] = reached
+                    out.append(tuple(new))
+        learn_dedup_factor(self.dedup_factors, condition, len(rows), len(distinct_keys))
+        return out
+
+    def _path_reach(
+        self, nfa: NFA, seeds: List[object], backward: bool
+    ) -> Dict[object, Tuple[object, ...]]:
+        """Per-seed path reachability through the epoch-keyed memo.
+
+        Seeds already answered for this automaton and graph epoch --
+        by an earlier row, an earlier query, or another engine sharing
+        the plan cache -- come from the memo; the rest run as ONE
+        batched origin-tagged product-automaton search and are memoized
+        for everyone downstream.
+        """
+        graph = self.graph
+        fingerprint = (id(graph), graph.epoch)
+        cache = self.plan_cache
+        metrics = self.metrics
+        found: Dict[object, Tuple[object, ...]] = {}
+        missing: List[object] = []
+        for seed in seeds:
+            hit = cache.path_memo_get(nfa, fingerprint, seed)
+            if hit is None:
+                missing.append(seed)
+            else:
+                metrics.path_memo_hits += 1
+                found[seed] = hit
+        if missing:
+            metrics.path_memo_misses += len(missing)
+            metrics.hash_join_probes += len(missing)
+            if backward:
+                computed = sources_to_many(graph, nfa, missing)
+            else:
+                computed = targets_from_many(graph, nfa, missing)
+            for seed in missing:
+                reached = computed.get(seed, ())
+                cache.path_memo_put(nfa, fingerprint, seed, reached)
+                found[seed] = reached
+        return found
+
 
 # ---------------------------------------------------------------------- #
 # the construction stage
@@ -857,6 +1598,7 @@ def evaluate(
     use_indexes: bool = True,
     metrics: Optional[Metrics] = None,
     engine: Optional[QueryEngine] = None,
+    use_blocks: bool = True,
 ) -> Graph:
     """Evaluate a STRUQL program over ``source`` and return the result graph.
 
@@ -878,7 +1620,11 @@ def evaluate(
     shared_metrics = metrics or Metrics()
     if engine is None:
         engine = QueryEngine(
-            source, optimize=optimize, use_indexes=use_indexes, metrics=shared_metrics
+            source,
+            optimize=optimize,
+            use_indexes=use_indexes,
+            metrics=shared_metrics,
+            use_blocks=use_blocks,
         )
     else:
         engine.metrics = shared_metrics
@@ -893,6 +1639,7 @@ def query_bindings(
     graph: Graph,
     optimize: bool = True,
     use_indexes: bool = True,
+    use_blocks: bool = True,
 ) -> List[Binding]:
     """Evaluate just a where-clause and return its binding relation.
 
@@ -905,5 +1652,7 @@ def query_bindings(
         conditions: Sequence[Condition] = program.queries[0].where
     else:
         conditions = text
-    engine = QueryEngine(graph, optimize=optimize, use_indexes=use_indexes)
+    engine = QueryEngine(
+        graph, optimize=optimize, use_indexes=use_indexes, use_blocks=use_blocks
+    )
     return engine.bindings(conditions)

@@ -15,12 +15,24 @@ The output is text, stable enough to assert against in tests::
     1     30     x       collection scan Publications
     2     1      y       bind y = "1998"
     3     1.2    -       reverse value-index probe "year" -> y
+
+``counts=True`` (EXPLAIN ANALYZE) additionally *executes* the plan with
+the set-at-a-time engine and renders, per block operator, the input and
+output row counts, the distinct-key index probes it ran, and how many
+rows were answered from its per-key cache instead::
+
+    step  est.  binds  rows in  rows out  probes  dedup  access path
+    1     30    x      1        30        1       0      collection scan Publications
+    ...
 """
 
 from __future__ import annotations
 
 import io
-from typing import List, Optional, Sequence, Set, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .eval import OperatorStats
 
 from ..graph import Graph
 from ..repository.indexes import IndexStatistics, graph_statistics
@@ -45,12 +57,17 @@ def explain(
     graph: Optional[Graph] = None,
     stats: Optional[IndexStatistics] = None,
     use_indexes: bool = True,
+    counts: bool = False,
 ) -> str:
     """Render the execution plan for a where clause.
 
     Pass either a graph (statistics are snapshotted) or pre-built
     statistics; with neither, an empty-statistics plan is shown (all
     estimates zero -- still useful to see the ordering logic).
+
+    ``counts=True`` requires a graph: the plan is *executed* by the
+    block engine and each step gains observed rows-in/rows-out, index
+    probes, and per-key cache hits.
     """
     if isinstance(query, str):
         conditions: Sequence[Condition] = parse(query).queries[0].where
@@ -65,23 +82,49 @@ def explain(
         stats = graph_statistics(graph) if graph is not None else IndexStatistics()
     ordered = order_conditions(conditions, frozenset(), stats, use_indexes)
 
+    op_stats: List["OperatorStats"] = []
+    if counts:
+        if graph is None:
+            raise ValueError("counts=True requires a graph to execute against")
+        from .eval import QueryEngine
+        from .plancache import PlanCache
+
+        engine = QueryEngine(
+            graph, use_indexes=use_indexes, stats=stats, plan_cache=PlanCache()
+        )
+        engine.bindings(conditions)
+        op_stats = engine.last_operator_stats
+
     out = io.StringIO()
     out.write(f"plan for: {header}\n")
-    rows: List[List[str]] = [["step", "est.", "binds", "access path"]]
+    header_row = ["step", "est.", "binds"]
+    if counts:
+        header_row += ["rows in", "rows out", "probes", "dedup"]
+    header_row.append("access path")
+    rows: List[List[str]] = [header_row]
     bound: Set[str] = set()
     for index, condition in enumerate(ordered, start=1):
         cost = estimate_cost(condition, bound, stats, conditions, use_indexes)
         newly = sorted(_binds(condition, bound) - bound)
-        rows.append(
-            [
-                str(index),
-                _fmt(cost),
-                ", ".join(newly) or "-",
-                _access_path(condition, bound, use_indexes),
-            ]
-        )
+        row = [str(index), _fmt(cost), ", ".join(newly) or "-"]
+        if counts:
+            # the engine ran the same ordered plan; a step past an empty
+            # frontier was never executed
+            if index - 1 < len(op_stats):
+                op = op_stats[index - 1]
+                row += [
+                    str(op.rows_in),
+                    str(op.rows_out),
+                    str(op.probes),
+                    str(op.dedup_hits),
+                ]
+            else:
+                row += ["-", "-", "-", "-"]
+        row.append(_access_path(condition, bound, use_indexes))
+        rows.append(row)
         bound |= set(newly)
-    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    width_count = len(rows[0])
+    widths = [max(len(row[i]) for row in rows) for i in range(width_count)]
     for row in rows:
         out.write(
             "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()

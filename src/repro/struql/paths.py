@@ -14,18 +14,39 @@ visited set, which handles cycles in both the data and the expression
 TextOnly example relies on ("all nodes q reachable from the root p,
 *including p itself*").
 
-Three entry points serve the evaluator's binding orders:
+Five entry points serve the evaluator's binding orders:
 
 * :func:`targets_from` -- source bound, enumerate targets;
 * :func:`sources_to` -- target bound, enumerate sources (runs the
-  reversed expression over the reverse adjacency index);
-* :func:`path_exists` -- both bound, early-exit check.
+  reversed automaton over the reverse adjacency index);
+* :func:`path_exists` -- both bound, early-exit check;
+* :func:`targets_from_many` / :func:`sources_to_many` -- the block
+  evaluator's batched variants: one product-automaton BFS seeded with
+  every distinct frontier endpoint at once, states tagged by origin so
+  per-origin results are *identical* (including discovery order) to the
+  single-source functions, while the ``(state set, label) -> next
+  states`` step computation is shared across all origins.
+
+The backward automaton is no longer re-Thompson-constructed from
+:func:`reverse_expr`: :meth:`NFA.reversed` structurally reverses the
+forward NFA (flip every transition and epsilon, swap start/accept) and
+caches the result on the instance.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import StruqlEvaluationError
 from ..graph import Graph, Oid, Target
@@ -49,6 +70,7 @@ class NFA:
         self.start = 0
         self.accept = 0
         self._state_count = 0
+        self._reversed: Optional["NFA"] = None
 
     def new_state(self) -> int:
         state = self._state_count
@@ -91,13 +113,56 @@ class NFA:
     def initial(self) -> FrozenSet[int]:
         return self.closure(frozenset({self.start}))
 
+    def reversed(self) -> "NFA":
+        """The structural reversal of this automaton, computed once.
+
+        Every transition and epsilon is flipped and start/accept are
+        swapped; the label predicates are shared with the forward NFA.
+        The reversal accepts exactly the reversed label sequences, so
+        running it over the reverse adjacency index answers
+        :func:`sources_to` without Thompson-constructing
+        :func:`reverse_expr` a second time.
+        """
+        if self._reversed is not None:
+            return self._reversed
+        mirror = NFA()
+        mirror._state_count = self._state_count
+        for state in range(self._state_count):
+            mirror.transitions.setdefault(state, [])
+            mirror.epsilons.setdefault(state, [])
+        for source, pairs in self.transitions.items():
+            for test, target in pairs:
+                mirror.add_transition(target, test, source)
+        for source, targets in self.epsilons.items():
+            for target in targets:
+                mirror.add_epsilon(target, source)
+        mirror.start = self.accept
+        mirror.accept = self.start
+        self._reversed = mirror
+        return mirror
+
+
+#: Memoized exact-label tests: one closure per distinct label string,
+#: shared by every compiled NFA (they were rebuilt per compile before).
+_ANY_LABEL_TEST: LabelTest = lambda label: True
+_LABEL_IS_TESTS: Dict[str, LabelTest] = {}
+
+
+def _label_is_test(wanted: str) -> LabelTest:
+    test = _LABEL_IS_TESTS.get(wanted)
+    if test is None:
+        test = _LABEL_IS_TESTS[wanted] = lambda label: label == wanted
+        if len(_LABEL_IS_TESTS) > 65536:  # unbounded-growth backstop
+            _LABEL_IS_TESTS.clear()
+            _LABEL_IS_TESTS[wanted] = test
+    return test
+
 
 def _leaf_test(expr: PathExpr) -> LabelTest:
     if isinstance(expr, LabelIs):
-        wanted = expr.label
-        return lambda label: label == wanted
+        return _label_is_test(expr.label)
     if isinstance(expr, AnyLabel):
-        return lambda label: True
+        return _ANY_LABEL_TEST
     if isinstance(expr, LabelPredicate):
         name = expr.name
 
@@ -217,6 +282,103 @@ def sources_to(graph: Graph, reversed_nfa: NFA, target: Target) -> List[Oid]:
                 results[source] = None
             queue.append((source, next_states))
     return list(results)
+
+
+def targets_from_many(
+    graph: Graph, nfa: NFA, sources: Sequence[Oid]
+) -> Dict[Oid, Tuple[Target, ...]]:
+    """Batched :func:`targets_from`: one BFS over the product automaton
+    seeded with every distinct source at once.
+
+    Product states are tagged with their origin, so per-origin results
+    (and their discovery order) are exactly what the single-source
+    search yields -- but the ``(state set, label) -> next states``
+    computation, the dominant per-edge cost, is memoized once for the
+    whole batch instead of once per source.
+    """
+    results: Dict[Oid, Dict[Target, None]] = {}
+    start_states = nfa.initial
+    accept = nfa.accept
+    starts_accepting = accept in start_states
+    step_memo: Dict[Tuple[FrozenSet[int], str], FrozenSet[int]] = {}
+    visited: Set[Tuple[Oid, Target, FrozenSet[int]]] = set()
+    queue: deque = deque()
+    for source in sources:
+        if source in results:
+            continue
+        found: Dict[Target, None] = {}
+        results[source] = found
+        if not graph.has_node(source):
+            continue
+        visited.add((source, source, start_states))
+        queue.append((source, source, start_states))
+        if starts_accepting:
+            found[source] = None
+    step = nfa.step
+    while queue:
+        origin, obj, states = queue.popleft()
+        if not isinstance(obj, Oid):
+            continue
+        for label, target in graph.out_edges(obj):
+            step_key = (states, label)
+            next_states = step_memo.get(step_key)
+            if next_states is None:
+                next_states = step(states, label)
+                step_memo[step_key] = next_states
+            if not next_states:
+                continue
+            key = (origin, target, next_states)
+            if key in visited:
+                continue
+            visited.add(key)
+            found = results[origin]
+            if accept in next_states and target not in found:
+                found[target] = None
+            queue.append((origin, target, next_states))
+    return {source: tuple(found) for source, found in results.items()}
+
+
+def sources_to_many(
+    graph: Graph, reversed_nfa: NFA, targets: Iterable[Target]
+) -> Dict[Target, Tuple[Oid, ...]]:
+    """Batched :func:`sources_to`: one reverse BFS seeded with every
+    distinct target at once, origin-tagged like :func:`targets_from_many`."""
+    results: Dict[Target, Dict[Oid, None]] = {}
+    start_states = reversed_nfa.initial
+    accept = reversed_nfa.accept
+    starts_accepting = accept in start_states
+    step_memo: Dict[Tuple[FrozenSet[int], str], FrozenSet[int]] = {}
+    visited: Set[Tuple[Target, Target, FrozenSet[int]]] = set()
+    queue: deque = deque()
+    for target in targets:
+        if target in results:
+            continue
+        found: Dict[Oid, None] = {}
+        results[target] = found
+        visited.add((target, target, start_states))
+        queue.append((target, target, start_states))
+        if starts_accepting and isinstance(target, Oid):
+            found[target] = None
+    step = reversed_nfa.step
+    while queue:
+        origin, obj, states = queue.popleft()
+        for source, label in graph.in_edges(obj):
+            step_key = (states, label)
+            next_states = step_memo.get(step_key)
+            if next_states is None:
+                next_states = step(states, label)
+                step_memo[step_key] = next_states
+            if not next_states:
+                continue
+            key = (origin, source, next_states)
+            if key in visited:
+                continue
+            visited.add(key)
+            found = results[origin]
+            if accept in next_states and source not in found:
+                found[source] = None
+            queue.append((origin, source, next_states))
+    return {target: tuple(found) for target, found in results.items()}
 
 
 def path_exists(graph: Graph, nfa: NFA, source: Oid, target: Target) -> bool:

@@ -16,7 +16,15 @@ which is exactly the click-time server's workload.
   so stale plans can never be served -- they simply age out of the LRU.
 * **compiled path NFAs**, keyed by path-expression identity.  NFAs
   depend only on the expression, never on the graph, so they are shared
-  across engines, graphs, and epochs.
+  across engines, graphs, and epochs.  The backward NFA is the forward
+  NFA's structural reversal (:meth:`~repro.struql.paths.NFA.reversed`),
+  not a second Thompson construction.
+* **path reachability memos**, keyed by ``(NFA identity, graph
+  identity, graph epoch, endpoint)``.  The block evaluator's batched
+  path search records, per distinct endpoint, the full answer of one
+  product-automaton BFS; any later row -- in the same query or a later
+  warm query over the unchanged graph -- reuses it.  The epoch in the
+  key is the invalidation rule, exactly as for plans.
 
 Cache values pin the AST objects they were keyed by, which keeps their
 ``id()`` values from being recycled while an entry is alive (the ABA
@@ -36,17 +44,26 @@ from .ast import Condition, PathExpr
 from .paths import NFA, compile_path, reverse_expr
 
 #: A plan-cache key: (condition identities, bound vars, index mode,
-#: statistics fingerprint).
-PlanKey = Tuple[Tuple[int, ...], FrozenSet[str], bool, Tuple[int, int]]
+#: statistics fingerprint, learned-dedup-factor signature).
+PlanKey = Tuple[
+    Tuple[int, ...], FrozenSet[str], bool, Tuple[int, int], Tuple[Tuple[int, float], ...]
+]
+
+#: A path-memo key: (NFA identity, graph identity, graph epoch, endpoint).
+PathMemoKey = Tuple[int, int, int, object]
 
 
 class PlanCache:
-    """An LRU cache of ordered-condition plans and compiled path NFAs."""
+    """An LRU cache of ordered-condition plans, compiled path NFAs, and
+    per-endpoint path reachability results."""
 
-    def __init__(self, max_entries: int = 2048) -> None:
+    def __init__(self, max_entries: int = 2048, max_path_entries: int = 16384) -> None:
         self.max_entries = max_entries
+        self.max_path_entries = max_path_entries
         self.hits = 0
         self.misses = 0
+        self.path_hits = 0
+        self.path_misses = 0
         self._lock = Lock()
         # value pins the condition objects the key's ids refer to
         self._plans: "OrderedDict[PlanKey, Tuple[Tuple[Condition, ...], List[Condition]]]" = (
@@ -54,6 +71,10 @@ class PlanCache:
         )
         # value pins the path expression the key's id refers to
         self._nfas: "OrderedDict[int, Tuple[PathExpr, NFA, NFA]]" = OrderedDict()
+        # value pins the NFA the key's id refers to (ABA guard, as above)
+        self._path_memo: "OrderedDict[PathMemoKey, Tuple[NFA, Tuple[object, ...]]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------ #
     # ordered-condition plans
@@ -64,8 +85,15 @@ class PlanCache:
         bound: FrozenSet[str],
         use_indexes: bool,
         fingerprint: Tuple[int, int],
+        dedup_signature: Tuple[Tuple[int, float], ...] = (),
     ) -> PlanKey:
-        return (tuple(map(id, conditions)), bound, use_indexes, fingerprint)
+        return (
+            tuple(map(id, conditions)),
+            bound,
+            use_indexes,
+            fingerprint,
+            dedup_signature,
+        )
 
     def get_plan(self, key: PlanKey) -> Optional[List[Condition]]:
         """The cached plan for ``key``, or None.  Counts hits/misses."""
@@ -100,7 +128,7 @@ class PlanCache:
                 self._nfas.move_to_end(key)
                 return entry[1], entry[2]
         forward = compile_path(path)
-        backward = compile_path(reverse_expr(path))
+        backward = forward.reversed()
         with self._lock:
             self._nfas[key] = (path, forward, backward)
             self._nfas.move_to_end(key)
@@ -109,13 +137,48 @@ class PlanCache:
         return forward, backward
 
     # ------------------------------------------------------------ #
+    # path reachability memo
+
+    def path_memo_get(
+        self, nfa: NFA, fingerprint: Tuple[int, int], endpoint: object
+    ) -> Optional[Tuple[object, ...]]:
+        """The memoized reachability answer for one endpoint under one
+        automaton and graph epoch, or ``None``.  Counts hits/misses."""
+        key = (id(nfa), fingerprint[0], fingerprint[1], endpoint)
+        with self._lock:
+            entry = self._path_memo.get(key)
+            if entry is None or entry[0] is not nfa:
+                self.path_misses += 1
+                return None
+            self._path_memo.move_to_end(key)
+            self.path_hits += 1
+            return entry[1]
+
+    def path_memo_put(
+        self,
+        nfa: NFA,
+        fingerprint: Tuple[int, int],
+        endpoint: object,
+        reached: Tuple[object, ...],
+    ) -> None:
+        key = (id(nfa), fingerprint[0], fingerprint[1], endpoint)
+        with self._lock:
+            self._path_memo[key] = (nfa, reached)
+            self._path_memo.move_to_end(key)
+            while len(self._path_memo) > self.max_path_entries:
+                self._path_memo.popitem(last=False)
+
+    # ------------------------------------------------------------ #
 
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
             self._nfas.clear()
+            self._path_memo.clear()
             self.hits = 0
             self.misses = 0
+            self.path_hits = 0
+            self.path_misses = 0
 
     def stats(self) -> Dict[str, int]:
         """Counters for diagnostics (``repro stats`` prints these)."""
@@ -125,6 +188,9 @@ class PlanCache:
                 "misses": self.misses,
                 "plans": len(self._plans),
                 "nfas": len(self._nfas),
+                "path_hits": self.path_hits,
+                "path_misses": self.path_misses,
+                "path_entries": len(self._path_memo),
             }
 
 
