@@ -1,0 +1,188 @@
+"""SERVE -- the HTTP tier under Zipf click traffic.
+
+The ROADMAP's production-scale question: what does the warm site serve
+under concurrent load, and what does an edit cost while traffic is
+flowing?  Three measurements over the homepage workload:
+
+* **stepped concurrency**: requests/sec and p50/p95/p99 latency at
+  increasing client counts (client = one OS process replaying keep-alive
+  Zipf click sessions, so client turnaround happens off the server's
+  GIL);
+* **worker scaling**: the same 4-client load against 1 vs N pool
+  workers.  Sessions include SERVE_THINK_MS of user think time between
+  clicks; a keep-alive connection pins its worker through the pause, so
+  one worker is bounded by 1/(think + service) while N workers overlap
+  N clients' pauses;
+* **refresh under load**: editor mutations submitted mid-traffic,
+  reporting submit-to-publish propagation latency and confirming the
+  request stream never degrades.
+
+Knobs: SERVE_PUBS (site size), SERVE_LEVELS (comma-separated client
+counts), SERVE_WORKERS (pool size), SERVE_SECONDS (per-level duration).
+``--bench-json`` writes benchmarks/out/BENCH_SERVE.json.
+"""
+
+import os
+
+from repro.serve import ServeCore, SiteServer
+from repro.serve.traffic import run_load
+from repro.workloads import HOMEPAGE_QUERY, bibliography_graph, homepage_templates
+
+PUBS = int(os.environ.get("SERVE_PUBS", "120"))
+LEVELS = [
+    int(piece)
+    for piece in os.environ.get("SERVE_LEVELS", "1,2,4,8").split(",")
+    if piece.strip()
+]
+WORKERS = int(os.environ.get("SERVE_WORKERS", "4"))
+SECONDS = float(os.environ.get("SERVE_SECONDS", "3.0"))
+THINK_S = float(os.environ.get("SERVE_THINK_MS", "5.0")) / 1000.0
+
+
+def _server(workers: int) -> SiteServer:
+    data = bibliography_graph(PUBS, seed=71)
+    core = ServeCore(HOMEPAGE_QUERY, data, homepage_templates())
+    return SiteServer(core, workers=workers, admission_limit=256).start()
+
+
+def _row(label, summary):
+    return {
+        "level": label,
+        "requests": summary.requests,
+        "errors": summary.errors,
+        "rps": round(summary.rps, 1),
+        "p50_ms": round(summary.p50_ms, 3),
+        "p95_ms": round(summary.p95_ms, 3),
+        "p99_ms": round(summary.p99_ms, 3),
+    }
+
+
+def test_serve_throughput_and_refresh(report, json_report):
+    payload = {
+        "site_pages": None,
+        "workers": WORKERS,
+        "duration_s": SECONDS,
+        "think_ms": THINK_S * 1000.0,
+        "concurrency_levels": [],
+        "worker_scaling": {},
+        "refresh_under_load": {},
+    }
+
+    # ---- stepped concurrency ------------------------------------- #
+    server = _server(WORKERS)
+    payload["site_pages"] = server.core.cache.current().page_count
+    rows = []
+    try:
+        run_load(server.url, concurrency=2, duration=0.5, think_s=THINK_S)  # warmup
+        for level in LEVELS:
+            summary = run_load(
+                server.url, concurrency=level, duration=SECONDS, seed=level * 100,
+                think_s=THINK_S,
+            )
+            rows.append(_row(level, summary))
+            payload["concurrency_levels"].append(summary.as_dict())
+    finally:
+        server.stop()
+    report(
+        f"SERVE_throughput_{PUBS}pubs_{WORKERS}workers",
+        rows,
+        note=f"{payload['site_pages']} pages warm; clients are separate "
+             f"processes replaying Zipf(1.1) click sessions",
+    )
+
+    # ---- worker scaling: 1 vs N pool workers, same 4-client load -- #
+    scaling_rows = []
+    rps = {}
+    for workers in (1, WORKERS):
+        server = _server(workers)
+        try:
+            run_load(server.url, concurrency=2, duration=0.5, think_s=THINK_S)  # warmup
+            summary = run_load(
+                server.url, concurrency=4, duration=SECONDS, seed=4242,
+                think_s=THINK_S,
+            )
+        finally:
+            server.stop()
+        rps[workers] = summary.rps
+        scaling_rows.append(_row(f"{workers} worker(s)", summary))
+        payload["worker_scaling"][str(workers)] = summary.as_dict()
+    speedup = rps[WORKERS] / rps[1] if rps[1] else 0.0
+    payload["worker_scaling"]["speedup"] = round(speedup, 2)
+    report(
+        f"SERVE_worker_scaling_{PUBS}pubs",
+        scaling_rows,
+        note=f"throughput scaling 1 -> {WORKERS} workers: {speedup:.2f}x "
+             f"(> 1.5x expected: workers overlap client turnaround)",
+    )
+
+    # ---- refresh under load --------------------------------------- #
+    import threading
+    import time
+
+    server = _server(WORKERS)
+    try:
+        refresher = server.refresher
+        stop = threading.Event()
+        tickets = []
+
+        def _editor():
+            index = 0
+            while not stop.is_set():
+                ticket = server.submit_edit(
+                    lambda regen, i=index: regen.add_object(
+                        "Publications",
+                        [("title", f"Mid-load paper {i}"),
+                         ("year", 1990 + (i % 9)),
+                         ("author", "Load Editor"),
+                         ("category", "web")],
+                    )
+                )
+                tickets.append(ticket)
+                ticket.wait(30)
+                index += 1
+                time.sleep(0.2)
+
+        editor = threading.Thread(target=_editor)
+        editor.start()
+        summary = run_load(
+            server.url, concurrency=4, duration=max(SECONDS, 2.0), seed=777,
+            think_s=THINK_S,
+        )
+        stop.set()
+        editor.join()
+        propagation = sorted(
+            t.propagation_s * 1000.0 for t in tickets if t.propagation_s
+        )
+        refresher_stats = refresher.stats()
+    finally:
+        server.stop()
+    assert propagation, "no edits propagated during the load window"
+    mean_ms = sum(propagation) / len(propagation)
+    p95_ms = propagation[min(len(propagation) - 1, int(len(propagation) * 0.95))]
+    payload["refresh_under_load"] = {
+        "edits_applied": refresher_stats["edits_applied"],
+        "propagation_ms": {
+            "mean": round(mean_ms, 3),
+            "p95": round(p95_ms, 3),
+            "max": round(propagation[-1], 3),
+        },
+        "traffic": summary.as_dict(),
+    }
+    report(
+        f"SERVE_refresh_under_load_{PUBS}pubs",
+        [
+            {"metric": "edits applied mid-load",
+             "value": refresher_stats["edits_applied"]},
+            {"metric": "edit propagation latency (submit -> publish)",
+             "value": f"mean {mean_ms:.1f} ms, p95 {p95_ms:.1f} ms"},
+            {"metric": "traffic while editing",
+             "value": f"{summary.requests} requests, {summary.errors} errors, "
+                      f"{summary.rps:.0f} rps, p95 {summary.p95_ms:.1f} ms"},
+        ],
+    )
+
+    json_report("SERVE", payload)
+
+    # sanity floors (not perf assertions): traffic flowed and scaled
+    assert all(level["errors"] == 0 for level in payload["concurrency_levels"])
+    assert summary.errors == 0

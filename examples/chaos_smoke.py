@@ -11,8 +11,11 @@ driver CI can run and archive:
 3. the warehouse persists crash-safely and reloads from disk;
 4. the page server serves every derivable page, then -- with the query
    engine failing -- serves the homepage from last-known-good bytes;
-5. the resilience report and the fault plan's injection log are written
-   as JSON artifacts.
+5. the HTTP tier takes a refresher crash mid-edit: the last-known-good
+   generation keeps serving (200 + degraded header), and the next
+   successful edit heals through a full rebuild;
+6. the resilience report, the serve-tier stats, and the fault plan's
+   injection log are written as JSON artifacts.
 
 Run:  REPRO_CHAOS_SEED=1337 python examples/chaos_smoke.py [output-dir]
 
@@ -69,6 +72,77 @@ def build_mediator(repository: Repository, policy: ResiliencePolicy) -> Mediator
     for name in ("pubs", "people", "projects"):
         mediator.import_source(name)
     return mediator
+
+
+def serve_scenario(seed: int, output_dir: str, failures: list) -> None:
+    """Refresher crash under the HTTP tier: the published generation
+    keeps serving as last-known-good, and the next good edit heals."""
+    import http.client
+
+    from repro.serve import ServeCore, SiteServer
+    from repro.workloads.bibliography import bibliography_graph
+
+    def fetch(server, path):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=10
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    core = ServeCore(
+        parse(HOMEPAGE_QUERY), bibliography_graph(10, seed=5), homepage_templates()
+    )
+    server = SiteServer(core, workers=2).start()
+    try:
+        status, _, baseline = fetch(server, "/")
+        if status != 200:
+            failures.append("serve: homepage did not serve before the fault")
+        with chaos.installed(
+            FaultPlan(seed=seed).fail_at("serve.refresh.apply", 1)
+        ):
+            ticket = server.submit_edit(
+                lambda regen: regen.add_object(
+                    "Publications",
+                    [("title", "Crashed Edit"), ("year", 1995),
+                     ("author", "Chaos Editor")],
+                )
+            )
+            ticket.wait(30)
+        if ticket.applied:
+            failures.append("serve: faulted edit reported success")
+        status, headers, body = fetch(server, "/")
+        if status != 200 or body != baseline:
+            failures.append("serve: last-known-good generation not served")
+        if headers.get("X-Strudel-Degraded") != "stale-generation":
+            failures.append("serve: degradation not surfaced in headers")
+        healing = server.submit_edit(
+            lambda regen: regen.add_object(
+                "Publications",
+                [("title", "Healing Edit"), ("year", 1996),
+                 ("author", "Chaos Editor"), ("category", "web")],
+            )
+        )
+        healing.wait(30)
+        if not healing.applied or not healing.info.get("coarse"):
+            failures.append("serve: healing edit did not rebuild")
+        status, headers, body = fetch(server, "/")
+        if status != 200 or "X-Strudel-Degraded" in headers:
+            failures.append("serve: site still degraded after healing edit")
+        if b"1996" not in body:
+            failures.append("serve: healed generation is missing the edit")
+        stats = server.stats()
+        if stats["core"]["refreshes_failed"] != 1:
+            failures.append("serve: refresh failure not counted")
+        with open(
+            os.path.join(output_dir, "serve-stats.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True, default=str)
+    finally:
+        server.stop()
 
 
 def main(output_dir: str = "chaos-out") -> int:
@@ -132,6 +206,8 @@ def main(output_dir: str = "chaos-out") -> int:
             os.path.join(output_dir, "fault-plan.json"), "w", encoding="utf-8"
         ) as handle:
             json.dump(plan.report(), handle, indent=2, sort_keys=True)
+
+    serve_scenario(plan.seed, output_dir, failures)
 
     print(f"chaos seed: {plan.seed}")
     for line in resilience.summary_lines():

@@ -289,7 +289,109 @@ def _cmd_bindings(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a site over HTTP until SIGINT (or ``--duration`` expires),
+    then drain gracefully: stop accepting, finish queued requests."""
+    import signal
+    import threading
+    import time
+
+    from .serve import ServeCore, SiteServer
+
+    data = _load_graph(args.data)
+    templates = _load_templates(args.templates)
+    core = ServeCore(
+        _read(args.query),
+        data,
+        templates,
+        roots=list(args.root) if args.root else None,
+        dynamic=args.dynamic,
+        site_name=args.name,
+    )
+    server = SiteServer(
+        core,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        admission_limit=args.admission_limit,
+    )
+    server.start()
+    mode = "dynamic" if args.dynamic else "static"
+    print(
+        f"serving {args.name} at {server.url} "
+        f"({args.workers} workers, {mode} mode, "
+        f"{core.cache.current().page_count} pages warm); Ctrl-C to drain",
+        file=sys.stderr,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    # signal handlers only exist on the main thread; tests drive this
+    # function from worker threads and use --duration instead
+    restore = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            restore[signum] = signal.signal(signum, _request_stop)
+        except ValueError:
+            pass
+    deadline = time.monotonic() + args.duration if args.duration else None
+    try:
+        while not stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            stop.wait(0.2)
+    finally:
+        for signum, handler in restore.items():
+            signal.signal(signum, handler)
+    print("draining in-flight requests...", file=sys.stderr)
+    clean = server.stop()
+    stats = server.stats()
+    core_stats = stats["core"]
+    admission = stats["admission"]
+    print(
+        f"served {core_stats['requests']} requests "
+        f"({core_stats['not_found']} not found, "
+        f"{admission['shed']} shed, "
+        f"{core_stats['refreshes_applied']} refreshes); "
+        f"{'clean' if clean else 'timed-out'} shutdown",
+        file=sys.stderr,
+    )
+    return 0 if clean else 1
+
+
+def _print_serve_stats(url: str) -> None:
+    """Fetch and pretty-print a running server's ``/_stats``."""
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url.rstrip("/") + "/_stats", timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+
+    def _walk(node: object, indent: int) -> None:
+        if isinstance(node, dict):
+            for key in sorted(node):
+                value = node[key]
+                if isinstance(value, dict):
+                    print(f"{'  ' * indent}{key}:")
+                    _walk(value, indent + 1)
+                else:
+                    print(f"{'  ' * indent}{key}: {value}")
+        else:
+            print(f"{'  ' * indent}{node}")
+
+    _walk(payload, 0)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.serve:
+        _print_serve_stats(args.serve)
+        if not args.data:
+            return 0
+    if not args.data:
+        print("repro stats: error: give a DDL file or --serve URL", file=sys.stderr)
+        return 2
     graph = _load_graph(args.data)
     for key, value in graph.stats().items():
         print(f"{key}: {value}")
@@ -441,8 +543,35 @@ def build_parser() -> argparse.ArgumentParser:
     bindings.add_argument("query", help="STRUQL text (where clause)")
     bindings.set_defaults(func=_cmd_bindings)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a site over HTTP with a worker pool and live refresh",
+    )
+    serve.add_argument("--data", required=True, help="data graph DDL file")
+    serve.add_argument("--query", required=True, help="STRUQL site definition")
+    serve.add_argument("--templates", required=True, help="directory of .tmpl files")
+    serve.add_argument("--root", action="append", help="root object/collection")
+    serve.add_argument("--name", default="site")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads, each with a warm engine")
+    serve.add_argument("--admission-limit", type=int, default=64,
+                       help="max in-flight connections before shedding 503s")
+    serve.add_argument("--dynamic", action="store_true",
+                       help="render pages at click time instead of "
+                            "serving a pre-built generation")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain (default: "
+                            "until SIGINT)")
+    serve.set_defaults(func=_cmd_serve)
+
     stats = sub.add_parser("stats", help="size summary of a DDL graph")
-    stats.add_argument("data")
+    stats.add_argument("data", nargs="?",
+                       help="DDL graph file (optional with --serve)")
+    stats.add_argument("--serve", metavar="URL",
+                       help="fetch and print a running server's /_stats")
     stats.add_argument("--query",
                        help="STRUQL text or file: also report cold/warm "
                             "query-engine cache counters for its where clause")

@@ -26,7 +26,7 @@ comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SiteDefinitionError
@@ -87,6 +87,18 @@ class ClickMetrics:
     degraded_serves: int = 0
     #: requests answered with a structured error page (no stale copy)
     error_pages: int = 0
+
+    def merge(self, other: "ClickMetrics") -> None:
+        """Fold another worker's counters into this one.
+
+        The concurrency contract: counter instances are owned by one
+        thread (one engine, one serve worker) and merged only when a
+        stats reader aggregates them -- increments are never shared.
+        """
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
 
 
 @dataclass

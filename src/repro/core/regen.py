@@ -185,6 +185,20 @@ class RegeneratingSite:
 
     # ------------------------------------------------------------ #
 
+    def rebuild(self) -> RegenReport:
+        """Re-render every page from the current site graph.
+
+        The explicit recovery path: after an external failure mid-edit
+        (e.g. a fault injected between maintenance and re-render) the
+        warm page set may be behind the site graph; a rebuild restores
+        the byte-identical-to-scratch invariant.  Counted as coarse.
+        """
+        self._full_build()
+        report = RegenReport(maintenance=self.maintainer.last_report, coarse=True)
+        report.pages_rerendered = len(self._site.pages)
+        self.last_report = report
+        return report
+
     def _full_build(self) -> None:
         site_graph = self.maintainer.site_graph
         self._generator = _TrackingGenerator(site_graph, self.templates)

@@ -26,6 +26,7 @@ correctness contract for dynamic evaluation.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 import html as html_escape
@@ -156,6 +157,24 @@ class LazySiteGraph(Graph):
         return []
 
 
+@dataclass(frozen=True)
+class PageResponse:
+    """One served page with real HTTP semantics.
+
+    ``status`` is the HTTP status an HTTP front-end should send --
+    ``404`` for paths the site does not define, ``200`` for a healthy
+    render, ``200`` with ``kind="stale"`` for last-known-good bytes
+    after a render fault, and ``500`` with ``kind="error-page"`` for a
+    fault with no stale copy (a structured error page, never a
+    traceback).
+    """
+
+    status: int
+    body: str
+    #: "ok" | "stale" | "error-page" | "not-found"
+    kind: str = "ok"
+
+
 class PageServer(PageRegistry):
     """Serves one site definition dynamically, path by path.
 
@@ -234,15 +253,28 @@ class PageServer(PageRegistry):
         bytes when it has them, else a structured error page, recording
         the degradation in ``degradations`` and the click metrics.  Pass
         ``strict=True`` to re-raise instead (tests and debugging).
+
+        :meth:`get_response` is the HTTP-shaped variant: it never
+        raises, mapping every outcome to a real status code.
         """
+        response = self.get_response(path, strict=strict)
+        if response.kind == "not-found":
+            raise KeyError(f"no page at {path!r}")
+        return response.body
+
+    def get_response(self, path: str, strict: bool = False) -> PageResponse:
+        """Serve ``path`` with HTTP status semantics instead of
+        in-process sentinels: 404 for paths the site does not define,
+        200 for healthy or stale (last-known-good) bytes, 500 for a
+        render fault with nothing stale to fall back on."""
         oid = self._paths.get(path)
         if oid is None:
-            raise KeyError(f"no page at {path!r}")
+            return PageResponse(404, _not_found_page(path), "not-found")
         self.requests += 1
         cached = self._page_cache.get(path)
         if cached is not None:
             self.page_cache_hits += 1
-            return cached[0]
+            return PageResponse(200, cached[0])
         reads: Set[Oid] = set()
         previous_log = self.graph._read_log
         self.graph._read_log = reads
@@ -259,11 +291,12 @@ class PageServer(PageRegistry):
             self.graph._read_log = previous_log
         self._page_cache[path] = (html, reads)
         self._last_good[path] = html
-        return html
+        return PageResponse(200, html)
 
-    def _degrade(self, path: str, error: BaseException) -> str:
+    def _degrade(self, path: str, error: BaseException) -> PageResponse:
         """Answer a failed render: stale last-known-good bytes when
-        available, else a structured error page.  Never a traceback."""
+        available (200, degraded), else a structured error page (500).
+        Never a traceback."""
         stale = self._last_good.get(path)
         record = {
             "path": path,
@@ -273,9 +306,9 @@ class PageServer(PageRegistry):
         self.degradations.append(record)
         if stale is not None:
             self.dynamic.metrics.degraded_serves += 1
-            return stale
+            return PageResponse(200, stale, "stale")
         self.dynamic.metrics.error_pages += 1
-        return _error_page(path, error)
+        return PageResponse(500, _error_page(path, error), "error-page")
 
     def known_paths(self) -> List[str]:
         """Paths discovered so far (grows as pages are served)."""
@@ -362,6 +395,19 @@ class PageServer(PageRegistry):
     def _path_for(oid: Oid) -> str:
         stem = re.sub(r"[^A-Za-z0-9_\-]+", "_", oid.name).strip("_") or "page"
         return f"/{stem}.html"
+
+
+def _not_found_page(path: str) -> str:
+    """A minimal, structured 404 page (the HTTP-shaped sibling of the
+    library API's KeyError)."""
+    safe_path = html_escape.escape(path)
+    return (
+        "<html><head><title>Not found</title></head>\n"
+        "<body>\n"
+        "<h1>404 Not Found</h1>\n"
+        f"<p>No page is served at <code>{safe_path}</code>.</p>\n"
+        "</body></html>\n"
+    )
 
 
 def _error_page(path: str, error: BaseException) -> str:

@@ -18,6 +18,7 @@ atomic values are global to the graph."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from threading import Lock
 from typing import Dict, List, Optional, Tuple
 
 from ..graph import Atom, Graph
@@ -177,13 +178,19 @@ class IndexStatistics:
 
 #: process-wide refresh counters, surfaced by ``repro stats``
 _refresh_counters = {"stats_full_snapshots": 0, "stats_delta_refreshes": 0}
+_refresh_counters_lock = Lock()
+
+#: serializes snapshot refreshes (concurrent engines over shared graphs:
+#: exactly one thread recomputes after a mutation, the rest reuse it)
+_stats_provider_lock = Lock()
 
 
 def statistics_refresh_counters() -> Dict[str, int]:
     """How statistics snapshots were refreshed so far in this process:
     ``stats_delta_refreshes`` advanced an existing snapshot by a delta
     (O(|delta|)); ``stats_full_snapshots`` re-read every counter."""
-    return dict(_refresh_counters)
+    with _refresh_counters_lock:
+        return dict(_refresh_counters)
 
 
 def graph_statistics(graph: Graph) -> IndexStatistics:
@@ -198,21 +205,32 @@ def graph_statistics(graph: Graph) -> IndexStatistics:
     taken.  Every consumer -- the query engine, EXPLAIN, the repository
     catalog -- goes through this function, so they all see the same
     estimates and an unchanged graph is never re-scanned.
+
+    Thread-safe: the fresh-snapshot fast path is a lock-free read of an
+    immutable snapshot; refreshes after a mutation are serialized, so N
+    worker engines sharing a graph pay for one recount, not N.
     """
     cached = graph._stats_cache
     if isinstance(cached, IndexStatistics) and cached.epoch == graph.epoch:
         return cached
-    stats: Optional[IndexStatistics] = None
-    if isinstance(cached, IndexStatistics) and cached.graph_key == id(graph):
-        delta = graph.delta_since(cached.epoch)
-        if delta is not None:
-            stats = cached.advance(graph, delta)
-            _refresh_counters["stats_delta_refreshes"] += 1
-    if stats is None:
-        stats = IndexStatistics.snapshot(graph)
-        _refresh_counters["stats_full_snapshots"] += 1
-    graph._stats_cache = stats
-    return stats
+    with _stats_provider_lock:
+        # re-check: another thread may have refreshed while we waited
+        cached = graph._stats_cache
+        if isinstance(cached, IndexStatistics) and cached.epoch == graph.epoch:
+            return cached
+        stats: Optional[IndexStatistics] = None
+        if isinstance(cached, IndexStatistics) and cached.graph_key == id(graph):
+            delta = graph.delta_since(cached.epoch)
+            if delta is not None:
+                stats = cached.advance(graph, delta)
+                with _refresh_counters_lock:
+                    _refresh_counters["stats_delta_refreshes"] += 1
+        if stats is None:
+            stats = IndexStatistics.snapshot(graph)
+            with _refresh_counters_lock:
+                _refresh_counters["stats_full_snapshots"] += 1
+        graph._stats_cache = stats
+        return stats
 
 
 @dataclass

@@ -1,0 +1,51 @@
+"""Admission control: bound the work in flight, shed the rest early.
+
+The listener consults :meth:`AdmissionControl.try_acquire` before
+queueing a connection for the worker pool.  Past the limit the
+connection is answered with a canned ``503 Service Unavailable`` (plus
+``Retry-After``) and closed without ever touching a worker -- overload
+degrades to fast, honest rejections instead of unbounded queueing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class AdmissionControl:
+    """A concurrency gate over queued-plus-in-flight connections."""
+
+    def __init__(self, limit: Optional[int] = 64) -> None:
+        #: maximum connections admitted at once (None = unlimited)
+        self.limit = limit
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+        self.peak = 0
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self.limit is not None and self.in_flight >= self.limit:
+                self.shed += 1
+                return False
+            self.in_flight += 1
+            self.admitted += 1
+            if self.in_flight > self.peak:
+                self.peak = self.in_flight
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "in_flight": self.in_flight,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "peak": self.peak,
+            }

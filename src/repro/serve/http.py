@@ -1,0 +1,291 @@
+"""The HTTP front-end: a bounded worker pool over stdlib sockets.
+
+:class:`PooledHTTPServer` replaces ``ThreadingHTTPServer``'s
+thread-per-connection model with N long-lived worker threads pulling
+admitted connections from a queue.  Each worker owns a slot in the
+:class:`~repro.serve.core.ServeCore` -- its warm engine and private
+counters -- so the hot path shares nothing mutable but the generation
+cache (immutable snapshots) and the plan cache (internally locked).
+
+HTTP semantics of degradation:
+
+* ``200`` with ``X-Strudel-Degraded: stale`` / ``stale-generation`` --
+  last-known-good bytes are being served after a failure;
+* ``404`` for paths the site does not define (a real status, not the
+  in-process ``KeyError`` the library API raises);
+* ``500`` for render faults with no stale copy (a structured error
+  page, never a traceback);
+* ``503`` with ``Retry-After`` when admission control sheds load, sent
+  without occupying a worker.
+
+Every response carries ``X-Strudel-Generation`` so clients (and the
+torn-mix property test) can see exactly which snapshot answered.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .admission import AdmissionControl
+from .core import ServeCore
+from .refresher import EditTicket, Refresher
+
+_SHED_BODY = b"<html><body><h1>503 Service Unavailable</h1></body></html>\n"
+_SHED_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: text/html; charset=utf-8\r\n"
+    b"Content-Length: " + str(len(_SHED_BODY)).encode() + b"\r\n"
+    b"Retry-After: 1\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _SHED_BODY
+)
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One request: generation lookup, occasionally a dynamic render."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+    #: without these, each response costs a Nagle/delayed-ACK stall
+    #: (~40ms) because status line, headers, and body go out as
+    #: separate tiny segments; buffer the writes and disable Nagle so
+    #: a response is one segment and latency is the handler's, not TCP's
+    disable_nagle_algorithm = True
+    wbufsize = 64 * 1024
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        server: "PooledHTTPServer" = self.server  # type: ignore[assignment]
+        path = urlsplit(self.path).path or "/"
+        if path == "/_stats":
+            self._send_json(server.stats())
+            return
+        if path == "/_paths":
+            self._send_json(server.core.known_paths())
+            return
+        if path == "/_health":
+            self._send_json({"ok": True})
+            return
+        entry, generation = server.core.handle(path, worker_id=self._worker_id())
+        body = entry.body
+        self.send_response(entry.status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Strudel-Generation", str(generation.gen_id))
+        if entry.kind not in ("ok", "not-found"):
+            self.send_header("X-Strudel-Degraded", entry.kind)
+        elif generation.stale:
+            self.send_header("X-Strudel-Degraded", "stale-generation")
+        if server.draining:
+            self.close_connection = True
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: object) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _worker_id(self) -> int:
+        server: "PooledHTTPServer" = self.server  # type: ignore[assignment]
+        return getattr(server.local, "worker_id", 0)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # request logging is the metrics' job, not stderr's
+
+
+class PooledHTTPServer(socketserver.TCPServer):
+    """A TCP server whose connections are handled by a fixed pool."""
+
+    allow_reuse_address = True
+    request_queue_size = 128
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        core: ServeCore,
+        workers: int = 4,
+        admission_limit: Optional[int] = 64,
+        request_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(address, ServeHandler)
+        self.core = core
+        self.workers = max(1, workers)
+        self.admission = AdmissionControl(admission_limit)
+        self.request_timeout = request_timeout
+        self.local = threading.local()
+        self.draining = False
+        self.started_at = time.time()
+        self.refresher: Optional[Refresher] = None
+        self._tasks: "queue.Queue[Optional[Tuple[socket.socket, object]]]" = (
+            queue.Queue()
+        )
+        self._worker_threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------ #
+    # listener side
+
+    def process_request(self, request, client_address) -> None:
+        """Admit into the worker queue, or shed with a canned 503
+        without ever occupying a worker."""
+        if self.draining or not self.admission.try_acquire():
+            self._shed(request)
+            return
+        self._tasks.put((request, client_address))
+
+    def _shed(self, request) -> None:
+        try:
+            request.sendall(_SHED_RESPONSE)
+        except OSError:
+            pass
+        self.shutdown_request(request)
+
+    # ------------------------------------------------------------ #
+    # worker side
+
+    def start_workers(self) -> None:
+        for worker_id in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_id,),
+                name=f"repro-serve-worker-{worker_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+
+    def _worker_loop(self, worker_id: int) -> None:
+        self.local.worker_id = worker_id
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            request, client_address = item
+            try:
+                request.settimeout(self.request_timeout)
+                self.finish_request(request, client_address)
+            except Exception:  # connection-level failure: drop, keep serving
+                pass
+            finally:
+                self.shutdown_request(request)
+                self.admission.release()
+
+    def drain_workers(self, timeout: float = 10.0) -> bool:
+        """Graceful worker shutdown: pending connections already in the
+        queue are served first (FIFO), then each worker exits."""
+        self.draining = True
+        for _ in self._worker_threads:
+            self._tasks.put(None)
+        deadline = time.monotonic() + timeout
+        clean = True
+        for thread in self._worker_threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            clean = clean and not thread.is_alive()
+        return clean
+
+    # ------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "workers": self.workers,
+            "queue_depth": self._tasks.qsize(),
+            "draining": self.draining,
+            "admission": self.admission.stats(),
+            "core": self.core.stats(),
+        }
+        if self.refresher is not None:
+            payload["refresher"] = self.refresher.stats()
+        return payload
+
+
+class SiteServer:
+    """The user-facing bundle: core + pool + refresher + accept loop."""
+
+    def __init__(
+        self,
+        core: ServeCore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        admission_limit: Optional[int] = 64,
+        request_timeout: float = 10.0,
+        with_refresher: bool = True,
+    ) -> None:
+        self.core = core
+        self.httpd = PooledHTTPServer(
+            (host, port),
+            core,
+            workers=workers,
+            admission_limit=admission_limit,
+            request_timeout=request_timeout,
+        )
+        self.refresher = Refresher(core) if with_refresher else None
+        self.httpd.refresher = self.refresher
+        self._accept_thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------ #
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SiteServer":
+        if self._started:
+            return self
+        self.httpd.start_workers()
+        if self.refresher is not None:
+            self.refresher.start()
+        self._accept_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def submit_edit(self, edit) -> EditTicket:
+        if self.refresher is None:
+            raise RuntimeError("server started without a refresher")
+        return self.refresher.submit(edit)
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, serve what is queued,
+        drain in-flight requests, then stop the refresher."""
+        if not self._started:
+            return True
+        self.httpd.shutdown()  # stop the accept loop
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout)
+        clean = self.httpd.drain_workers(timeout)
+        if self.refresher is not None:
+            self.refresher.stop(timeout)
+        self.httpd.server_close()
+        self._started = False
+        return clean
+
+    def stats(self) -> Dict[str, object]:
+        return self.httpd.stats()

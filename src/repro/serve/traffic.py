@@ -1,0 +1,336 @@
+"""Zipf-session traffic generation and latency measurement.
+
+The workload models real site traffic the way the serving literature
+does: page popularity is Zipf-distributed (a few hot pages take most of
+the clicks), and clients browse in *sessions* -- a keep-alive connection
+issuing a burst of clicks, then reconnecting.  Client processes are
+separate OS processes (``python -m repro.serve.traffic``), so client
+work never shares the server's GIL and the measured latencies are
+honest end-to-end numbers.
+
+:func:`run_load` fans out one client process per concurrency slot,
+merges their latency samples, and reduces them to p50/p95/p99 and
+requests/sec; :func:`stepped_load` sweeps concurrency levels.  For
+in-process smoke tests (no subprocesses), :func:`run_load_threads`
+drives the same session logic from threads instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection, HTTPException
+from typing import Dict, List, Optional, Sequence
+from urllib.parse import urlsplit
+
+
+def zipf_cum_weights(count: int, exponent: float = 1.1) -> List[float]:
+    """Cumulative Zipf weights for ranks 1..count (rank 1 hottest)."""
+    total = 0.0
+    cumulative: List[float] = []
+    for rank in range(1, count + 1):
+        total += 1.0 / (rank ** exponent)
+        cumulative.append(total)
+    return cumulative
+
+
+def discover_paths(url: str, timeout: float = 10.0) -> List[str]:
+    """The servable path universe, from the server's ``/_paths``."""
+    parts = urlsplit(url)
+    connection = HTTPConnection(parts.hostname, parts.port, timeout=timeout)
+    try:
+        connection.request("GET", "/_paths")
+        response = connection.getresponse()
+        paths = json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+    return sorted(p for p in paths if isinstance(p, str))
+
+
+def run_session_client(
+    url: str,
+    duration: float,
+    seed: int = 0,
+    zipf_exponent: float = 1.1,
+    session_clicks: int = 25,
+    paths: Optional[Sequence[str]] = None,
+    timeout: float = 10.0,
+    think_s: float = 0.0,
+) -> Dict[str, object]:
+    """One client: keep-alive sessions of Zipf-sampled clicks until the
+    deadline.  Returns counters plus every latency sample (ms).
+
+    ``think_s`` is the pause between clicks *while holding the
+    connection* -- the user reading the page.  It is what makes the
+    worker pool earn its keep: a keep-alive connection pins its worker
+    through the pause, so a single worker's throughput is bounded by
+    1/(think + service) while N workers overlap N clients' pauses."""
+    parts = urlsplit(url)
+    if paths is None:
+        paths = discover_paths(url, timeout=timeout)
+    if not paths:
+        raise RuntimeError(f"no servable paths discovered at {url}")
+    rng = random.Random(seed)
+    cumulative = zipf_cum_weights(len(paths), zipf_exponent)
+    deadline = time.perf_counter() + duration
+    latencies_ms: List[float] = []
+    count = 0
+    errors = 0
+    status_counts: Dict[str, int] = {}
+    while time.perf_counter() < deadline:
+        connection = HTTPConnection(parts.hostname, parts.port, timeout=timeout)
+        try:
+            for click in range(session_clicks):
+                if time.perf_counter() >= deadline:
+                    break
+                if click and think_s > 0.0:
+                    time.sleep(think_s)
+                path = rng.choices(paths, cum_weights=cumulative)[0]
+                started = time.perf_counter()
+                connection.request("GET", path)
+                response = connection.getresponse()
+                response.read()
+                latencies_ms.append((time.perf_counter() - started) * 1000.0)
+                count += 1
+                key = str(response.status)
+                status_counts[key] = status_counts.get(key, 0) + 1
+                if response.status >= 500:
+                    errors += 1
+                if response.will_close:
+                    break
+        except (OSError, HTTPException):
+            errors += 1
+        finally:
+            connection.close()
+    return {
+        "count": count,
+        "errors": errors,
+        "status_counts": status_counts,
+        "latencies_ms": [round(sample, 4) for sample in latencies_ms],
+    }
+
+
+# ------------------------------------------------------------------ #
+# aggregation
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    index = min(len(sorted_samples) - 1, max(0, int(round(q * (len(sorted_samples) - 1)))))
+    return sorted_samples[index]
+
+
+@dataclass
+class LoadSummary:
+    """One load run reduced to the numbers the bench reports."""
+
+    concurrency: int
+    duration_s: float
+    requests: int = 0
+    errors: int = 0
+    rps: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "concurrency": self.concurrency,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "status_counts": dict(sorted(self.status_counts.items())),
+        }
+
+
+def _summarize(
+    results: List[Dict[str, object]], concurrency: int, duration: float
+) -> LoadSummary:
+    summary = LoadSummary(concurrency=concurrency, duration_s=duration)
+    samples: List[float] = []
+    for result in results:
+        summary.requests += int(result.get("count", 0))
+        summary.errors += int(result.get("errors", 0))
+        samples.extend(result.get("latencies_ms", []))  # type: ignore[arg-type]
+        for status, times in (result.get("status_counts") or {}).items():
+            summary.status_counts[status] = summary.status_counts.get(status, 0) + times
+    samples.sort()
+    summary.rps = summary.requests / duration if duration > 0 else 0.0
+    summary.p50_ms = percentile(samples, 0.50)
+    summary.p95_ms = percentile(samples, 0.95)
+    summary.p99_ms = percentile(samples, 0.99)
+    return summary
+
+
+def _client_env() -> Dict[str, str]:
+    """Subprocess environment with this repro package importable."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+    return env
+
+
+def run_load(
+    url: str,
+    concurrency: int,
+    duration: float,
+    zipf_exponent: float = 1.1,
+    session_clicks: int = 25,
+    seed: int = 1000,
+    timeout: float = 30.0,
+    think_s: float = 0.0,
+) -> LoadSummary:
+    """Fan out ``concurrency`` client *processes* and merge their
+    samples.  Paths are discovered once and passed to every client."""
+    paths = discover_paths(url)
+    procs: List[subprocess.Popen] = []
+    env = _client_env()
+    for index in range(concurrency):
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.serve.traffic",
+                    "--url",
+                    url,
+                    "--duration",
+                    str(duration),
+                    "--seed",
+                    str(seed + index),
+                    "--zipf",
+                    str(zipf_exponent),
+                    "--session-clicks",
+                    str(session_clicks),
+                    "--think-ms",
+                    str(think_s * 1000.0),
+                    "--paths-json",
+                    json.dumps(paths),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+            )
+        )
+    results: List[Dict[str, object]] = []
+    for proc in procs:
+        stdout, stderr = proc.communicate(timeout=duration + timeout)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"traffic client failed ({proc.returncode}): {stderr.decode()[-500:]}"
+            )
+        results.append(json.loads(stdout.decode("utf-8")))
+    return _summarize(results, concurrency, duration)
+
+
+def run_load_threads(
+    url: str,
+    concurrency: int,
+    duration: float,
+    zipf_exponent: float = 1.1,
+    session_clicks: int = 25,
+    seed: int = 1000,
+    think_s: float = 0.0,
+) -> LoadSummary:
+    """The same session workload from in-process threads (smoke tests:
+    cheaper, but client work shares the caller's GIL)."""
+    paths = discover_paths(url)
+    results: List[Dict[str, object]] = [{} for _ in range(concurrency)]
+
+    def _client(index: int) -> None:
+        results[index] = run_session_client(
+            url,
+            duration,
+            seed=seed + index,
+            zipf_exponent=zipf_exponent,
+            session_clicks=session_clicks,
+            paths=paths,
+            think_s=think_s,
+        )
+
+    threads = [
+        threading.Thread(target=_client, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return _summarize(results, concurrency, duration)
+
+
+def stepped_load(
+    url: str,
+    levels: Sequence[int],
+    duration: float,
+    zipf_exponent: float = 1.1,
+    session_clicks: int = 25,
+    think_s: float = 0.0,
+) -> List[LoadSummary]:
+    """One :func:`run_load` per concurrency level, in order."""
+    return [
+        run_load(
+            url,
+            concurrency,
+            duration,
+            zipf_exponent=zipf_exponent,
+            session_clicks=session_clicks,
+            seed=1000 + 100 * index,
+            think_s=think_s,
+        )
+        for index, concurrency in enumerate(levels)
+    ]
+
+
+# ------------------------------------------------------------------ #
+# subprocess entry point
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve.traffic")
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--session-clicks", type=int, default=25)
+    parser.add_argument("--think-ms", type=float, default=0.0,
+                        help="pause between clicks while holding the "
+                             "keep-alive connection (user think time)")
+    parser.add_argument(
+        "--paths-json", help="JSON list of paths (skips /_paths discovery)"
+    )
+    args = parser.parse_args(argv)
+    paths = json.loads(args.paths_json) if args.paths_json else None
+    result = run_session_client(
+        args.url,
+        args.duration,
+        seed=args.seed,
+        zipf_exponent=args.zipf,
+        session_clicks=args.session_clicks,
+        paths=paths,
+        think_s=args.think_ms / 1000.0,
+    )
+    json.dump(result, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -31,6 +31,7 @@ labels -- "elements of the graph's schema").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from functools import lru_cache
 from typing import (
     Dict,
@@ -123,6 +124,20 @@ class Metrics:
     path_memo_hits: int = 0
     #: path endpoints that had to run the batched product-automaton search
     path_memo_misses: int = 0
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another engine's counters into this one.
+
+        Thread-safety contract: a ``Metrics`` instance belongs to one
+        engine, and an engine to one thread (serve workers each own a
+        warm engine).  Cross-thread aggregation happens by merging
+        snapshots here, never by sharing an instance between
+        incrementing threads.
+        """
+        for spec in dataclass_fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
 
 
 @dataclass

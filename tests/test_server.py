@@ -141,3 +141,68 @@ class TestPageServer:
                 data,
                 homepage_templates(),
             )
+
+
+class TestGetResponse:
+    """HTTP status mapping: get_response never raises and never
+    answers with an in-process sentinel."""
+
+    def test_unknown_path_is_404(self, setup):
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        response = server.get_response("/no-such-page.html")
+        assert response.status == 404
+        assert response.kind == "not-found"
+        assert "404" in response.body
+        assert "Traceback" not in response.body
+        # the in-process API still raises for compatibility
+        with pytest.raises(KeyError):
+            server.get("/no-such-page.html")
+
+    def test_unknown_path_not_counted_as_request(self, setup):
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        server.get_response("/no-such-page.html")
+        assert server.requests == 0
+
+    def test_healthy_render_is_200_ok(self, setup):
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        response = server.get_response("/")
+        assert (response.status, response.kind) == (200, "ok")
+        assert response.body == server.get("/")
+
+    def test_render_fault_without_stale_is_500(self, setup):
+        from repro.resilience import chaos
+        from repro.resilience.chaos import FaultPlan
+
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        with chaos.installed(FaultPlan().fail_always("engine.bindings")):
+            response = server.get_response("/")
+        assert response.status == 500
+        assert response.kind == "error-page"
+        assert "Traceback" not in response.body
+
+    def test_render_fault_with_stale_is_200_degraded(self, setup):
+        from repro.resilience import chaos
+        from repro.resilience.chaos import FaultPlan
+
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        warm = server.get("/")
+        server.invalidate()
+        with chaos.installed(FaultPlan().fail_always("engine.bindings")):
+            response = server.get_response("/")
+        assert (response.status, response.kind) == (200, "stale")
+        assert response.body == warm
+
+    def test_strict_reraises_instead_of_mapping(self, setup):
+        from repro.resilience import chaos
+        from repro.resilience.chaos import ChaosFault, FaultPlan
+
+        data, program = setup
+        server = PageServer(program, data, homepage_templates())
+        with chaos.installed(FaultPlan().fail_always("engine.bindings")):
+            with pytest.raises(ChaosFault):
+                server.get_response("/", strict=True)
