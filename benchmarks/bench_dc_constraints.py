@@ -1,0 +1,114 @@
+"""DC -- delta-driven incremental data-constraint checking.
+
+A declared constraint set is cheap to check once, but a live site
+re-ingests continuously (the paper's AT&T and CNN sites), and re-running
+every check after every edit makes the constraint layer the bottleneck.
+The :class:`~repro.constraints.IncrementalChecker` records what each
+verdict read and, on a warm graph, re-checks only the subjects the
+delta touched.
+
+This bench builds a bibliography site, declares a mixed constraint set
+(required / range / exclusive), then measures:
+
+* the cold full check over every (constraint, member) pair;
+* a 1-edge edit followed by an incremental re-check.
+
+Expected shape: the re-check cost is proportional to the delta (one
+subject re-verified, everything else skipped), and the incremental
+verdicts are identical to a fresh full check.
+"""
+
+import os
+import time
+
+from repro.constraints import (
+    CheckCounters,
+    IncrementalChecker,
+    parse_constraints,
+)
+from repro.graph.values import integer
+from repro.workloads.bibliography import bibliography_graph
+
+#: CI runs the bench at a tiny size (fail-on-crash smoke); locally the
+#: default reproduces the committed BENCH_DC.json numbers.
+DC_ARTICLES = int(os.environ.get("DC_ARTICLES", "400"))
+
+RULES = """
+on Publications {
+  required title
+  range year 1900 2100
+  exclusive postscript
+}
+"""
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def test_dc_incremental_recheck_scales_with_delta(report, json_report, benchmark):
+    graph = bibliography_graph(DC_ARTICLES, seed=11)
+    cset = parse_constraints(RULES, "bench.dc")
+    assert cset.ok
+
+    counters = CheckCounters()
+    inc = IncrementalChecker(graph, cset, counters)
+    full_time = _timed(inc.full_check)
+    total = inc.subject_count
+
+    # the 1-edge edit: one publication gains an out-of-range year
+    target = sorted(
+        graph.collection("Publications"), key=lambda o: o.name
+    )[DC_ARTICLES // 2]
+    graph.add_edge(target, "year", integer(1897))
+
+    recheck_time = _timed(inc.recheck)
+    rechecked = inc.last_rechecked
+    skipped = inc.last_skipped
+
+    # a fresh checker must agree with the incrementally maintained one
+    fresh = IncrementalChecker(graph, cset)
+    fresh_full_time = _timed(fresh.full_check)
+    assert inc.verdicts() == fresh.verdicts()
+    assert counters.coarse_fallbacks == 0
+    # only the delta-touched subject was re-verified
+    assert rechecked == 1
+    assert skipped == total - 1
+    assert any(
+        v.subject == target and v.constraint.kind == "range"
+        for v in inc.violations()
+    )
+
+    speedup = fresh_full_time / max(recheck_time, 1e-9)
+    if DC_ARTICLES >= 200:  # tiny CI sizes only smoke-test for crashes
+        assert speedup >= 5.0
+
+    rows = [
+        {"pass": "cold full check", "seconds": round(full_time, 4),
+         "subjects checked": total},
+        {"pass": "full re-check after edit", "seconds": round(fresh_full_time, 4),
+         "subjects checked": total},
+        {"pass": "incremental re-check after edit",
+         "seconds": round(recheck_time, 4), "subjects checked": rechecked},
+    ]
+    report("DC_incremental_recheck", rows,
+           note=f"1-edge edit to a {DC_ARTICLES}-article site "
+                f"({total} constraint subjects); speedup {speedup:.1f}x "
+                f"over a full re-check.")
+    json_report("DC", {
+        "experiment": "DC incremental constraint re-check after a 1-edge edit",
+        "articles": DC_ARTICLES,
+        "constraints": [str(c) for c in cset],
+        "subjects": total,
+        "edit": "one out-of-range year edge added to one publication",
+        "full_check_s": round(full_time, 6),
+        "full_recheck_s": round(fresh_full_time, 6),
+        "incremental_recheck_s": round(recheck_time, 6),
+        "speedup": round(speedup, 2),
+        "rechecked": rechecked,
+        "skipped": skipped,
+        "counters": counters.as_dict(),
+    })
+    benchmark.pedantic(inc.recheck, rounds=1, iterations=1)

@@ -26,6 +26,7 @@ import os
 import sys
 
 from repro.analysis import Analyzer, load_templates, render_sarif
+from repro.constraints import parse_constraints
 from repro.repository import ddl
 
 FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
@@ -63,11 +64,18 @@ def analyze_fixture(directory):
                 constraints.append(text)
                 constraint_lines.append(number)
 
+    data_constraints = None
+    dc_file = os.path.join(directory, "constraints.dc")
+    if os.path.exists(dc_file):
+        with open(dc_file, "r", encoding="utf-8") as handle:
+            data_constraints = parse_constraints(handle.read(), dc_file)
+
     analyzer = Analyzer(
         query=query,
         templates=templates,
         constraints=constraints,
         data_graph=data_graph,
+        data_constraints=data_constraints,
         query_file=query_file,
         constraint_file=constraint_file,
         template_files=template_files,

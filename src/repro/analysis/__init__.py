@@ -19,6 +19,7 @@ the ``gate=True`` build flag integrate it into the build pipeline.
 from .analyzer import Analyzer, analyze, load_templates
 from .audit_bridge import audit_diagnostics
 from .constraint_checks import check_constraints, refute_static
+from .data_constraint_checks import check_data_constraints, required_guaranteed
 from .diagnostics import (
     RULES,
     Diagnostic,
@@ -46,9 +47,11 @@ __all__ = [
     "analyze",
     "audit_diagnostics",
     "check_constraints",
+    "check_data_constraints",
     "check_program",
     "check_schema",
     "check_templates",
+    "required_guaranteed",
     "lint_to_diagnostic",
     "load_templates",
     "refute_static",

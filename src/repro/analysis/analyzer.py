@@ -45,6 +45,7 @@ from .query_checks import check_program
 from .schema_checks import check_schema
 from .template_checks import check_templates
 from .constraint_checks import check_constraints
+from .data_constraint_checks import check_data_constraints
 
 
 class Analyzer:
@@ -70,11 +71,15 @@ class Analyzer:
         constraint_file: str = "<constraints>",
         template_files: Optional[Dict[str, str]] = None,
         constraint_lines: Optional[Sequence[int]] = None,
+        data_constraints: Optional[object] = None,
     ) -> None:
         self.query = query
         self.templates = templates
         self.constraints = list(constraints)
         self.constraint_lines = list(constraint_lines or [])
+        #: optional :class:`~repro.constraints.ConstraintSet` of declared
+        #: data constraints, classified by the DC0xx pass.
+        self.data_constraints = data_constraints
         self.roots = [str(root) for root in roots]
         self.data_graph = data_graph
         self.query_file = query_file
@@ -111,6 +116,16 @@ class Analyzer:
 
         program = self._parse_query(report)
         if program is None:
+            # data constraints are checkable against the data graph even
+            # when the site query does not parse
+            if self.data_constraints is not None:
+                report.extend(
+                    check_data_constraints(
+                        self.data_constraints,
+                        schema=None,
+                        data_graph=self.data_graph,
+                    )
+                )
             report.apply_suppressions(Suppressions(suppress))
             return report
 
@@ -142,6 +157,14 @@ class Analyzer:
                     schema,
                     constraint_file=self.constraint_file,
                     lines=self.constraint_lines or None,
+                )
+            )
+        if self.data_constraints is not None:
+            report.extend(
+                check_data_constraints(
+                    self.data_constraints,
+                    schema=schema,
+                    data_graph=self.data_graph,
                 )
             )
         report.apply_suppressions(Suppressions(suppress))

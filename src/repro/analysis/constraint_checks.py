@@ -54,12 +54,19 @@ def check_constraints(
             try:
                 formula = parse_constraint(constraint)
             except ConstraintError as error:
+                # constraints are one per line, so an error on line 1 of
+                # the formula text is at (file line, error column)
+                column = (
+                    getattr(error, "column", 0)
+                    if getattr(error, "line", 0) == 1
+                    else 0
+                )
                 diagnostics.append(
                     make(
                         "CON001",
                         f"constraint does not parse: {error}",
                         subject=constraint.strip(),
-                        span=span,
+                        span=Span(file=span.file, line=span.line, column=column),
                         source="constraint",
                     )
                 )

@@ -73,16 +73,25 @@ class Span:
 
 @dataclass(frozen=True)
 class Rule:
-    """Metadata for one diagnostic code (for docs and SARIF rules)."""
+    """Metadata for one diagnostic code (for docs and SARIF rules).
+
+    ``help`` is the longer remediation text rendered as the SARIF
+    ``fullDescription``; rules without one fall back to ``summary``.
+    """
 
     code: str
     name: str
     summary: str
     default_severity: Severity
+    help: str = ""
 
 
-def _rule(code: str, name: str, summary: str, severity: Severity) -> Tuple[str, Rule]:
-    return code, Rule(code=code, name=name, summary=summary, default_severity=severity)
+def _rule(
+    code: str, name: str, summary: str, severity: Severity, help: str = ""
+) -> Tuple[str, Rule]:
+    return code, Rule(
+        code=code, name=name, summary=summary, default_severity=severity, help=help
+    )
 
 
 #: The full rule registry: code -> :class:`Rule`.
@@ -140,21 +149,74 @@ RULES: Dict[str, Rule] = dict(
               "A template file does not parse.", Severity.ERROR),
         # --- constraint checks ------------------------------------- #
         _rule("CON001", "malformed-constraint",
-              "An integrity constraint does not parse.", Severity.ERROR),
+              "An integrity constraint does not parse.", Severity.ERROR,
+              help="Fix the formula at the reported line/column; "
+                   "constraints are declared one per line."),
         _rule("CON002", "constraint-verified",
               "The constraint holds on every site this query can "
-              "generate.", Severity.INFO),
+              "generate.", Severity.INFO,
+              help="Proven from the site query's structure alone -- no "
+                   "generation-time model check is needed."),
         _rule("CON003", "constraint-unverifiable",
               "Static analysis cannot decide the constraint; it will be "
-              "model-checked after each build.", Severity.WARNING),
+              "model-checked after each build.", Severity.WARNING,
+              help="The audit bridge reports AUD004 if the materialized "
+                   "site graph violates it."),
         _rule("CON004", "constraint-refuted",
               "No site this query generates can satisfy the constraint "
               "(no schema path matches the required pattern).",
-              Severity.ERROR),
+              Severity.ERROR,
+              help="Either the constraint or the site query is wrong: "
+                   "the schema admits no path matching the pattern."),
         _rule("CON005", "constraint-vacuous",
               "The constraint names a class no collection or Skolem "
               "function defines; it holds only vacuously.",
-              Severity.WARNING),
+              Severity.WARNING,
+              help="Check the class name against the site query's Skolem "
+                   "functions and collect clauses."),
+        # --- data-constraint checks -------------------------------- #
+        _rule("DC001", "malformed-data-constraint",
+              "A data-constraint declaration does not parse.",
+              Severity.ERROR,
+              help="Fix the declaration at the reported line/column; the "
+                   "parser resynchronizes at the next keyword, so later "
+                   "rules in the file were still checked."),
+        _rule("DC002", "unknown-constraint-collection",
+              "A data constraint names a collection neither the site "
+              "schema nor the data graph defines.", Severity.WARNING,
+              help="The constraint can never apply to any subject. Check "
+                   "the collection name against the wrapper output and "
+                   "the mediator's mapping queries."),
+        _rule("DC003", "unknown-constraint-label",
+              "A data constraint names an edge label absent from both "
+              "the site schema and the data graph.", Severity.WARNING,
+              help="A value constraint on a label no edge carries can "
+                   "never fire; a required constraint on it would flag "
+                   "every member instead."),
+        _rule("DC004", "data-constraint-violated",
+              "Members of the data graph violate a declared data "
+              "constraint.", Severity.ERROR,
+              help="Run 'repro ingest --constraints' to quarantine the "
+                   "violating records with provenance, or fix the source "
+                   "data."),
+        _rule("DC005", "data-constraint-refuted",
+              "The constraint can never be violated: proven by the "
+              "mapping queries' structure or by the value index.",
+              Severity.INFO,
+              help="A schema proof holds for every future dataset; a "
+                   "value-index proof holds for the current data graph "
+                   "and lets checkers skip the member scan."),
+        _rule("DC006", "data-constraint-dynamic",
+              "Static analysis cannot decide the constraint; it will be "
+              "enforced at ingest time.", Severity.INFO,
+              help="The ingest gate and the incremental checker evaluate "
+                   "it per subject; this is the normal case for "
+                   "expression constraints."),
+        _rule("DC007", "duplicate-data-constraint",
+              "The same data constraint is declared more than once.",
+              Severity.WARNING,
+              help="Identical declarations are checked once; remove the "
+                   "duplicate to keep counters meaningful."),
         # --- generation-time audit bridge -------------------------- #
         _rule("AUD001", "dangling-link",
               "A generated page links to a page that was never generated.",

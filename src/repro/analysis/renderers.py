@@ -71,25 +71,31 @@ def _sarif_rules(report: DiagnosticReport) -> List[Dict[str, object]]:
         if rule is None:
             rules.append({"id": code})
             continue
-        rules.append(
-            {
-                "id": rule.code,
-                "name": rule.name,
-                "shortDescription": {"text": rule.summary},
-                "defaultConfiguration": {
-                    "level": rule.default_severity.sarif_level
-                },
-            }
-        )
+        entry: Dict[str, object] = {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": rule.default_severity.sarif_level
+            },
+        }
+        if rule.help:
+            entry["fullDescription"] = {"text": rule.help}
+        rules.append(entry)
     return rules
 
 
-def _sarif_result(diagnostic: Diagnostic) -> Dict[str, object]:
+def _sarif_result(
+    diagnostic: Diagnostic, rule_indexes: Dict[str, int]
+) -> Dict[str, object]:
     result: Dict[str, object] = {
         "ruleId": diagnostic.code,
         "level": diagnostic.severity.sarif_level,
         "message": {"text": diagnostic.message},
     }
+    index = rule_indexes.get(diagnostic.code)
+    if index is not None:
+        result["ruleIndex"] = index
     span = diagnostic.span
     if span:
         region: Dict[str, object] = {}
@@ -109,7 +115,13 @@ def _sarif_result(diagnostic: Diagnostic) -> Dict[str, object]:
 
 
 def render_sarif(report: DiagnosticReport) -> str:
-    """SARIF 2.1.0 rendering of all (unsuppressed) findings."""
+    """SARIF 2.1.0 rendering of all (unsuppressed) findings.
+
+    Each result carries a ``ruleIndex`` into the driver's ``rules``
+    array (built from the same ``report.codes()`` ordering), so SARIF
+    viewers resolve rule metadata without a linear scan.
+    """
+    rule_indexes = {code: i for i, code in enumerate(report.codes())}
     document = {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -124,7 +136,9 @@ def render_sarif(report: DiagnosticReport) -> str:
                         "rules": _sarif_rules(report),
                     }
                 },
-                "results": [_sarif_result(d) for d in report.sorted()],
+                "results": [
+                    _sarif_result(d, rule_indexes) for d in report.sorted()
+                ],
             }
         ],
     }

@@ -155,8 +155,14 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     from .repository import Repository
     from .resilience import ResiliencePolicy, ResilienceReport, WrapPolicy
 
+    constraint_policy = None
+    constraint_set = _load_data_constraints(args)
+    if constraint_set is not None:
+        from .constraints import ConstraintPolicy
+
+        constraint_policy = ConstraintPolicy(constraint_set)
     policy = ResiliencePolicy(
-        wrap=WrapPolicy.tolerant(args.max_errors),
+        wrap=WrapPolicy.tolerant(args.max_errors, constraints=constraint_policy),
         min_sources=args.min_sources,
     )
     repository = Repository(args.repository) if args.repository else None
@@ -174,6 +180,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         report.save(args.report)
     for line in report.summary_lines():
         print(line, file=sys.stderr)
+    if constraint_policy is not None:
+        print(
+            f"constraints: {constraint_policy.counters.summary()}",
+            file=sys.stderr,
+        )
     print(f"ingested {args.name}: {warehouse.stats()}", file=sys.stderr)
     return 1 if (report.partial or report.stale) else 0
 
@@ -221,6 +232,18 @@ def _load_constraints(args: argparse.Namespace):
     return constraints, lines
 
 
+def _load_data_constraints(args: argparse.Namespace):
+    """The declarative data-constraint file named by ``--constraints``
+    (``None`` when the flag is absent).  Parsing is error-recovering;
+    syntax problems surface as DC001 diagnostics, not exceptions."""
+    path = getattr(args, "constraints", None)
+    if not path:
+        return None
+    from .constraints import parse_constraints
+
+    return parse_constraints(_read(path), source=path)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     diagnostics_pending = []
     templates = None
@@ -240,6 +263,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         constraint_file=args.constraints_file or "<constraints>",
         template_files=template_files,
         constraint_lines=constraint_lines,
+        data_constraints=_load_data_constraints(args),
     )
     analyzer.pending = diagnostics_pending
     report = analyzer.run(suppress=args.suppress or [])
@@ -429,6 +453,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"path_hits={cache['path_hits']} path_misses={cache['path_misses']} "
             f"path_entries={cache['path_entries']}"
         )
+    if getattr(args, "constraints", None):
+        from .constraints import ConstraintChecker
+
+        constraint_set = _load_data_constraints(args)
+        checker = ConstraintChecker(graph, constraint_set)
+        violations = checker.check_all()
+        print(f"constraints: {checker.counters.summary()}")
+        for violation in violations[:5]:
+            print(f"  violated: {violation}")
+        if len(violations) > 5:
+            print(f"  ... and {len(violations) - 5} more")
     from .repository import statistics_refresh_counters
 
     refreshes = statistics_refresh_counters()
@@ -516,6 +551,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="integrity constraint (repeatable)")
     analyze.add_argument("--constraints-file",
                          help="file of constraints, one per line")
+    analyze.add_argument("--constraints", metavar="PATH",
+                         help="declarative data-constraint file (DC0xx "
+                              "checks: static refutation, violations)")
     analyze.add_argument("--root", action="append",
                          help="root object/collection for reachability")
     analyze.add_argument("--format", choices=sorted(RENDERERS), default="text")
@@ -575,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--query",
                        help="STRUQL text or file: also report cold/warm "
                             "query-engine cache counters for its where clause")
+    stats.add_argument("--constraints", metavar="PATH",
+                       help="check a data-constraint file against the "
+                            "graph and print checked/violated/refuted "
+                            "counters")
     stats.add_argument("--resilience", nargs="?", const="", metavar="REPORT",
                        help="also print resilience counters (quarantines, "
                             "breaker states, recovery events); give the "
@@ -602,6 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "persistence and stale fallback")
     ingest.add_argument("--report", metavar="FILE",
                         help="write the resilience report as JSON")
+    ingest.add_argument("--constraints", metavar="PATH",
+                        help="declarative data-constraint file: violating "
+                             "records are quarantined with provenance")
     ingest.set_defaults(func=_cmd_ingest)
 
     lint = sub.add_parser("lint", help="check templates against a site schema")

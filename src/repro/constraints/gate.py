@@ -1,0 +1,97 @@
+"""The ingest-time constraint gate.
+
+Violating records are *record faults*, and the pipeline already has
+machinery for those: the PR-4 quarantine.  This module turns constraint
+violations into quarantined records -- same report shape, same error
+budget, same provenance trail -- so ``repro ingest`` handles a record
+that parses but lies (a year of 19995, a duplicated DOI) exactly like
+one that does not parse at all.
+
+A :class:`ConstraintPolicy` travels on
+:class:`~repro.resilience.WrapPolicy` into each wrapper and into the
+mediator's warehouse assembly (the latter catches cross-source
+``exclusive`` collisions no single wrapper can see).  Under a strict
+wrap the first violation raises
+:class:`~repro.errors.ConstraintViolation`; under a tolerant wrap each
+violating subject is removed from the graph and logged into the
+:class:`~repro.resilience.QuarantineReport`, subject to ``max_errors``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConstraintViolation, QuarantineExceeded
+from ..graph import Graph, Oid
+from .checker import ConstraintChecker
+from .model import CheckCounters, ConstraintSet, Violation
+
+
+@dataclass(frozen=True)
+class ConstraintPolicy:
+    """Which data constraints an ingest enforces, and how hard.
+
+    ``refute`` enables the value-index fast path: constraints the graph
+    can prove unviolable are skipped without a member scan.
+    """
+
+    constraint_set: ConstraintSet
+    refute: bool = True
+    counters: CheckCounters = field(default_factory=CheckCounters, compare=False)
+
+    @property
+    def count(self) -> int:
+        return len(self.constraint_set)
+
+
+def apply_constraint_gate(
+    graph: Graph,
+    wrap_policy: "object",
+    report: "object",
+    source_name: str = "",
+) -> List[Violation]:
+    """Enforce ``wrap_policy.constraints`` on a freshly-built graph.
+
+    Strict wrap: the first violation raises :class:`ConstraintViolation`
+    with the offending subject as witness.  Tolerant wrap: every
+    violating subject is removed from ``graph`` and recorded in
+    ``report`` (one quarantined record per subject, messages joined),
+    then the usual error budget applies.  Returns the violations found.
+    """
+    policy: Optional[ConstraintPolicy] = getattr(wrap_policy, "constraints", None)
+    if policy is None:
+        return []
+    checker = ConstraintChecker(graph, policy.constraint_set, policy.counters)
+    violations = checker.check_all(refute=policy.refute)
+    if not violations:
+        return violations
+    if not getattr(wrap_policy, "quarantine", False):
+        first = violations[0]
+        raise ConstraintViolation(first.constraint, witness=first.subject.name)
+
+    # collect-then-remove: one subject may violate several constraints,
+    # and removal must not run while verdicts are still being computed
+    by_subject: Dict[Oid, List[Violation]] = {}
+    for violation in violations:
+        by_subject.setdefault(violation.subject, []).append(violation)
+    for subject in sorted(by_subject, key=lambda oid: oid.name):
+        faults = by_subject[subject]
+        collection = faults[0].constraint.collection
+        report.add(
+            locator=f"{collection}:{subject.name}",
+            error="constraint violation: "
+            + "; ".join(fault.message for fault in faults),
+            snippet=str(faults[0].constraint),
+            source=source_name,
+        )
+        graph.remove_node(subject)
+    max_errors = getattr(wrap_policy, "max_errors", None)
+    if max_errors is not None and report.count > max_errors:
+        raise QuarantineExceeded(
+            source_name or getattr(report, "source", ""),
+            report.count,
+            max_errors,
+            report,
+        )
+    return violations

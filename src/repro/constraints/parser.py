@@ -1,0 +1,313 @@
+"""Parser for constraint files, with real lexer spans.
+
+Reuses the STRUQL tokenizer, so every diagnostic the analyzer emits for
+a constraint file carries the declaring token's true line and column --
+the guarantee the other front-ends (queries, templates) already had.
+
+Grammar::
+
+    file  ::= { block }
+    block ::= "on" name "{" { rule } "}"
+    rule  ::= "required"  label
+            | "exclusive" label
+            | "range"     label NUMBER NUMBER
+            | "regexp"    label STRING
+            | "max_len"   label NUMBER
+            | "expression" "(" struql-conditions ")"
+
+``name`` and ``label`` are identifiers or quoted strings; ``#`` and
+``//`` start comments.  An ``expression`` body is any STRUQL
+where-clause; it must use the ``__subject__`` variable, which the
+checker binds to each member of the collection in turn.
+
+Parsing is error-recovering: a malformed rule is recorded as a
+:class:`~repro.constraints.model.ParseIssue` and the parser skips to
+the next rule keyword (or block boundary), so one bad line does not
+hide the rest of the file from analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import StruqlError
+from ..struql import parse as parse_struql
+from ..struql.lexer import Token, tokenize
+from .model import ConstraintSet, DataConstraint, ParseIssue
+
+#: The variable an ``expression`` constraint is evaluated against.
+SUBJECT_VAR = "__subject__"
+
+_RULE_KEYWORDS = frozenset(
+    {"required", "exclusive", "range", "regexp", "max_len", "expression"}
+)
+
+
+def parse_constraints(text: str, source: str = "<constraints>") -> ConstraintSet:
+    """Parse a constraint file into a :class:`ConstraintSet`.
+
+    Never raises on malformed input: lexical and grammatical problems
+    become :class:`ParseIssue` entries with real line/column spans.
+    """
+    result = ConstraintSet(source=source)
+    try:
+        tokens = tokenize(text)
+    except StruqlError as error:
+        result.issues.append(
+            ParseIssue(
+                str(error),
+                line=getattr(error, "line", 0),
+                column=getattr(error, "column", 0),
+            )
+        )
+        return result
+    _FileParser(tokens, result).parse()
+    return result
+
+
+class _FileParser:
+    def __init__(self, tokens: List[Token], result: ConstraintSet) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._result = result
+
+    # ------------------------------------------------------------ #
+    # token plumbing
+
+    def _peek(self) -> Optional[Token]:
+        index = self._index
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> Optional[Token]:
+        token = self._peek()
+        if token is not None:
+            self._index += 1
+        return token
+
+    def _issue(self, message: str, token: Optional[Token]) -> None:
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            line = last.line if last else 0
+            column = last.column if last else 0
+        else:
+            line, column = token.line, token.column
+        self._result.issues.append(ParseIssue(message, line=line, column=column))
+
+    def _recover(self) -> None:
+        """Skip to the next rule keyword or block boundary."""
+        while True:
+            token = self._peek()
+            if token is None:
+                return
+            if token.kind == "ident" and (
+                token.text in _RULE_KEYWORDS or token.text == "on"
+            ):
+                return
+            if token.kind == "punct" and token.text == "}":
+                return
+            self._index += 1
+
+    def _name(self, what: str) -> Optional[Token]:
+        """An identifier or quoted string naming a collection or label."""
+        token = self._peek()
+        if token is not None and token.kind in ("ident", "string"):
+            return self._next()
+        self._issue(
+            f"expected {what}, got "
+            + (f"{token.text!r}" if token is not None else "end of file"),
+            token,
+        )
+        return None
+
+    def _number(self, what: str) -> Optional[float]:
+        token = self._peek()
+        if token is not None and token.kind == "number":
+            self._next()
+            return float(token.text)
+        self._issue(
+            f"expected {what} (a number), got "
+            + (f"{token.text!r}" if token is not None else "end of file"),
+            token,
+        )
+        return None
+
+    # ------------------------------------------------------------ #
+    # grammar
+
+    def parse(self) -> None:
+        while True:
+            token = self._peek()
+            if token is None:
+                return
+            if token.kind == "ident" and token.text == "on":
+                self._next()
+                self._parse_block(token)
+            else:
+                self._issue(
+                    f"expected 'on <collection>', got {token.text!r}", token
+                )
+                self._next()
+                self._recover()
+
+    def _parse_block(self, on_token: Token) -> None:
+        name = self._name("a collection name after 'on'")
+        if name is None:
+            self._recover()
+            return
+        opener = self._peek()
+        if opener is None or opener.kind != "punct" or opener.text != "{":
+            self._issue(f"expected '{{' after 'on {name.text}'", opener)
+            self._recover()
+            return
+        self._next()
+        while True:
+            token = self._peek()
+            if token is None:
+                self._issue(f"unclosed block for collection {name.text!r}", None)
+                return
+            if token.kind == "punct" and token.text == "}":
+                self._next()
+                return
+            if token.kind == "ident" and token.text in _RULE_KEYWORDS:
+                self._parse_rule(name.text, self._next())
+            else:
+                self._issue(
+                    f"expected a constraint keyword "
+                    f"({', '.join(sorted(_RULE_KEYWORDS))}), got {token.text!r}",
+                    token,
+                )
+                self._next()
+                self._recover()
+
+    def _parse_rule(self, collection: str, keyword: Token) -> None:
+        kind = keyword.text
+        if kind == "expression":
+            self._parse_expression(collection, keyword)
+            return
+        label = self._name(f"an edge label after '{kind}'")
+        if label is None:
+            self._recover()
+            return
+        constraint: Optional[DataConstraint] = None
+        if kind == "required":
+            constraint = DataConstraint(
+                "required", collection, label=label.text,
+                line=keyword.line, column=keyword.column,
+            )
+        elif kind == "exclusive":
+            constraint = DataConstraint(
+                "exclusive", collection, label=label.text,
+                line=keyword.line, column=keyword.column,
+            )
+        elif kind == "range":
+            low = self._number("the lower bound")
+            high = self._number("the upper bound") if low is not None else None
+            if low is None or high is None:
+                self._recover()
+                return
+            if low > high:
+                self._issue(
+                    f"empty range [{low}, {high}] on {label.text!r}", keyword
+                )
+                self._recover()
+                return
+            constraint = DataConstraint(
+                "range", collection, label=label.text, low=low, high=high,
+                line=keyword.line, column=keyword.column,
+            )
+        elif kind == "regexp":
+            token = self._peek()
+            if token is None or token.kind != "string":
+                self._issue("expected a quoted pattern after 'regexp'", token)
+                self._recover()
+                return
+            self._next()
+            import re
+
+            try:
+                re.compile(token.text)
+            except re.error as error:
+                self._issue(f"bad pattern {token.text!r}: {error}", token)
+                self._recover()
+                return
+            constraint = DataConstraint(
+                "regexp", collection, label=label.text, pattern=token.text,
+                line=keyword.line, column=keyword.column,
+            )
+        elif kind == "max_len":
+            limit = self._number("the length limit")
+            if limit is None:
+                self._recover()
+                return
+            constraint = DataConstraint(
+                "max_len", collection, label=label.text, limit=int(limit),
+                line=keyword.line, column=keyword.column,
+            )
+        if constraint is not None:
+            self._result.constraints.append(constraint)
+
+    def _parse_expression(self, collection: str, keyword: Token) -> None:
+        opener = self._peek()
+        if opener is None or opener.kind != "punct" or opener.text != "(":
+            self._issue("expected '(' after 'expression'", opener)
+            self._recover()
+            return
+        self._next()
+        collected, closed = self._collect_until_close()
+        if not closed:
+            self._issue("unterminated expression constraint", keyword)
+            return
+        text = " ".join(
+            f'"{_escape(t.text)}"' if t.kind == "string" else t.text
+            for t in collected
+        )
+        conditions, problem = _parse_expression_text(text)
+        if problem:
+            self._issue(f"bad expression constraint: {problem}", keyword)
+            self._recover()
+            return
+        self._result.constraints.append(
+            DataConstraint(
+                "expression", collection, expression=text,
+                conditions=tuple(conditions),
+                line=keyword.line, column=keyword.column,
+            )
+        )
+
+    def _collect_until_close(self) -> Tuple[List[Token], bool]:
+        depth = 0
+        collected: List[Token] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                return collected, False
+            if token.kind == "punct" and token.text == "(":
+                depth += 1
+            elif token.kind == "punct" and token.text == ")":
+                if depth == 0:
+                    self._next()
+                    return collected, True
+                depth -= 1
+            collected.append(self._next())
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _parse_expression_text(text: str) -> Tuple[List[object], str]:
+    """Parse an expression body as a STRUQL where-clause; the conditions
+    must mention ``__subject__`` so the checker has something to seed."""
+    if not text.strip():
+        return [], "empty condition list"
+    try:
+        program = parse_struql("where " + text)
+    except StruqlError as error:
+        return [], str(error)
+    conditions = list(program.queries[0].where)
+    variables = set()
+    for condition in conditions:
+        variables.update(condition.variables())
+    if SUBJECT_VAR not in variables:
+        return [], f"the conditions never use {SUBJECT_VAR}"
+    return conditions, ""

@@ -158,9 +158,15 @@ class _ConstraintParser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise ConstraintError("unexpected end of constraint")
+            raise ConstraintError(
+                "unexpected end of constraint", *self._last_position()
+            )
         self._index += 1
         return token
+
+    def _last_position(self) -> tuple:
+        last = self._tokens[-1] if self._tokens else None
+        return (last.line, last.column) if last else (0, 0)
 
     def _match_ident(self, word: str) -> bool:
         token = self._peek()
@@ -189,15 +195,20 @@ class _ConstraintParser:
         token = self._next()
         if token.kind != kind or (text and token.text != text):
             raise ConstraintError(
-                f"expected {text or kind!r}, got {token.text!r} "
-                f"(line {token.line}, column {token.column})"
+                f"expected {text or kind!r}, got {token.text!r}",
+                line=token.line,
+                column=token.column,
             )
         return token
 
     def expect_end(self) -> None:
         token = self._peek()
         if token is not None:
-            raise ConstraintError(f"trailing input: {token.text!r}")
+            raise ConstraintError(
+                f"trailing input: {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
 
     # ------------------------------------------------------------ #
 
@@ -222,7 +233,9 @@ class _ConstraintParser:
     def _parse_unit(self) -> Formula:
         token = self._peek()
         if token is None:
-            raise ConstraintError("unexpected end of constraint")
+            raise ConstraintError(
+                "unexpected end of constraint", *self._last_position()
+            )
         if token.kind == "ident" and token.text in ("forall", "exists"):
             self._next()
             var = self._expect("ident").text
@@ -264,7 +277,9 @@ class _ConstraintParser:
         while True:
             token = self._peek()
             if token is None:
-                raise ConstraintError("unterminated path in constraint")
+                raise ConstraintError(
+                    "unterminated path in constraint", *self._last_position()
+                )
             if token.kind == "arrow" and depth == 0:
                 break
             if token.kind == "punct" and token.text == "(":
@@ -280,7 +295,12 @@ class _ConstraintParser:
         sub = _Parser(text)
         path = sub._parse_path_expression()
         if sub._peek() is not None:
-            raise ConstraintError(f"bad path expression: {text!r}")
+            first = collected[0] if collected else None
+            raise ConstraintError(
+                f"bad path expression: {text!r}",
+                line=first.line if first else 0,
+                column=first.column if first else 0,
+            )
         return path
 
 

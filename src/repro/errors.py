@@ -168,7 +168,18 @@ class TemplateResolutionError(TemplateError):
 
 
 class ConstraintError(StrudelError):
-    """Malformed integrity-constraint formula."""
+    """Malformed integrity-constraint formula.
+
+    Carries the source position of the offending token when the parser
+    knows it, so analyzer diagnostics for constraint files get real
+    line/column spans like every other front-end.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
 
 
 class ConstraintViolation(StrudelError):

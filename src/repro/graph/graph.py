@@ -315,6 +315,18 @@ class Graph:
         """
         return len(self._label_values.get(label, ()))
 
+    def label_atoms(self, label: str) -> Iterator[Tuple[Atom, int]]:
+        """The per-label value index: every distinct atomic target under
+        ``label`` with its edge count.
+
+        Maintained incrementally alongside the label extent.  The
+        data-constraint checker uses it to *refute* value-shaped
+        constraints (range/regexp/max_len/exclusive) without visiting a
+        single collection member: if every value under the label passes,
+        no member can hold a failing one.
+        """
+        return iter(self._label_values.get(label, {}).items())
+
     @property
     def distinct_atom_count(self) -> int:
         """Number of distinct atomic values appearing as edge targets."""

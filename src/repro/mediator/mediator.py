@@ -69,6 +69,9 @@ class MediationReport:
     quarantine: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: source name -> failed attempts before success or giving up
     retries: Dict[str, int] = field(default_factory=dict)
+    #: data-constraint enforcement accounting (checked/violated/refuted
+    #: counters plus the warehouse-level quarantined records)
+    constraints: Dict[str, object] = field(default_factory=dict)
     #: the warehouse was built from a subset of the registered sources,
     #: or with quarantined records
     partial: bool = False
@@ -266,6 +269,11 @@ class Mediator:
         for mapping in self._mappings:
             evaluate(mapping, staging, into=warehouse)
             report.mappings_run += 1
+        if policy is not None and getattr(policy.wrap, "constraints", None) is not None:
+            # the per-wrapper gates already ran; this warehouse-level
+            # pass catches what no single source can see (cross-source
+            # exclusive collisions, constraints on mapped collections)
+            self._apply_warehouse_constraints(warehouse, policy, report)
         if policy is not None:
             self._stamp_provenance(warehouse, report)
         report.warehouse_size = warehouse.stats()
@@ -318,6 +326,27 @@ class Mediator:
             f"and no previous warehouse to fall back to"
         )
 
+    def _apply_warehouse_constraints(
+        self,
+        warehouse: Graph,
+        policy: ResiliencePolicy,
+        report: MediationReport,
+    ) -> None:
+        from ..constraints.gate import apply_constraint_gate
+        from ..resilience.quarantine import QuarantineReport
+
+        gate_report = QuarantineReport(source="warehouse")
+        apply_constraint_gate(warehouse, policy.wrap, gate_report, "warehouse")
+        counters = policy.wrap.constraints.counters
+        report.constraints = {
+            "checked": counters.checked,
+            "violated": counters.violated,
+            "refuted": counters.refuted,
+            "quarantined": [record.as_dict() for record in gate_report.records],
+        }
+        if gate_report.count:
+            report.partial = True
+
     def _stamp_provenance(self, warehouse: Graph, report: MediationReport) -> None:
         oid = warehouse.add_node(Oid(PROVENANCE_OID))
         warehouse.add_edge(oid, "partial", boolean(report.partial))
@@ -330,6 +359,17 @@ class Mediator:
         )
         if quarantined:
             warehouse.add_edge(oid, "quarantined", integer(quarantined))
+        constraints = report.constraints
+        if constraints:
+            violated = int(constraints.get("violated", 0))
+            if violated:
+                warehouse.add_edge(
+                    oid, "constraintViolations", integer(violated)
+                )
+            for record in constraints.get("quarantined", ()):
+                warehouse.add_edge(
+                    oid, "constraintQuarantined", string(record["locator"])
+                )
 
     # ------------------------------------------------------------ #
 

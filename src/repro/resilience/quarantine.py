@@ -102,14 +102,22 @@ class WrapPolicy:
     max_errors: Optional[int] = None
     #: how much raw text a quarantined record keeps for the report
     snippet_length: int = 120
+    #: optional :class:`~repro.constraints.ConstraintPolicy`: declared
+    #: data constraints enforced on the wrapped graph, violators
+    #: quarantined (tolerant) or raising (strict)
+    constraints: Optional[object] = None
 
     @classmethod
-    def strict(cls) -> "WrapPolicy":
-        return cls()
+    def strict(cls, constraints: Optional[object] = None) -> "WrapPolicy":
+        return cls(constraints=constraints)
 
     @classmethod
-    def tolerant(cls, max_errors: Optional[int] = None) -> "WrapPolicy":
-        return cls(quarantine=True, max_errors=max_errors)
+    def tolerant(
+        cls,
+        max_errors: Optional[int] = None,
+        constraints: Optional[object] = None,
+    ) -> "WrapPolicy":
+        return cls(quarantine=True, max_errors=max_errors, constraints=constraints)
 
     def clip(self, snippet: str) -> str:
         return snippet[: self.snippet_length]

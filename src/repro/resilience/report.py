@@ -55,6 +55,9 @@ class ResilienceReport:
     recovery_events: List[Dict[str, str]] = field(default_factory=list)
     #: page-server degradations (stale page / error page served)
     degradations: List[Dict[str, str]] = field(default_factory=list)
+    #: data-constraint enforcement accounting from the mediation
+    #: (checked/violated/refuted plus warehouse-level quarantined records)
+    constraints: Dict[str, object] = field(default_factory=dict)
     #: True when the warehouse was built from a strict subset of sources
     partial: bool = False
     #: True when a previous warehouse generation was served instead
@@ -75,6 +78,9 @@ class ResilienceReport:
                 self.retries[name] = self.retries.get(name, 0) + count
             self.partial = self.partial or report.partial
             self.stale = self.stale or report.stale
+            constraints = getattr(report, "constraints", None)
+            if constraints:
+                self.constraints = dict(constraints)
         breaker_states = getattr(mediator, "breaker_states", None)
         if callable(breaker_states):
             self.breakers.update(breaker_states())
@@ -137,6 +143,14 @@ class ResilienceReport:
         for event in self.recovery_events:
             lines.append(f"  {event.get('subject')}: {event.get('detail')}")
         lines.append(f"degraded serves: {len(self.degradations)}")
+        if self.constraints:
+            lines.append(
+                "constraints: "
+                f"checked={self.constraints.get('checked', 0)} "
+                f"violated={self.constraints.get('violated', 0)} "
+                f"refuted={self.constraints.get('refuted', 0)} "
+                f"quarantined={len(self.constraints.get('quarantined', []))}"
+            )
         return lines
 
     def as_dict(self) -> Dict[str, object]:
@@ -150,6 +164,7 @@ class ResilienceReport:
             "retries": self.retries,
             "recovery_events": list(self.recovery_events),
             "degradations": list(self.degradations),
+            "constraints": dict(self.constraints),
         }
 
     def to_json(self) -> str:
@@ -173,4 +188,5 @@ class ResilienceReport:
         report.retries = dict(raw.get("retries", {}))
         report.recovery_events = list(raw.get("recovery_events", []))
         report.degradations = list(raw.get("degradations", []))
+        report.constraints = dict(raw.get("constraints", {}))
         return report

@@ -61,6 +61,15 @@ class Wrapper:
                 raise error.with_source(self.source_name) from error
         else:
             self._wrap_tolerant(graph, policy, self.last_quarantine)
+        if policy is not None and policy.constraints is not None:
+            # a record that parses but violates a declared data
+            # constraint is a record fault like any other: quarantined
+            # (tolerant) or raising (strict)
+            from ..constraints.gate import apply_constraint_gate
+
+            apply_constraint_gate(
+                graph, policy, self.last_quarantine, self.source_name
+            )
         return graph
 
     def _wrap_into(self, graph: Graph) -> None:  # pragma: no cover - interface
