@@ -74,6 +74,43 @@ def _load_graph(path: str) -> Graph:
     return ddl.loads(_read(path), os.path.basename(path))
 
 
+def _open_data(args: argparse.Namespace):
+    """The data graph selected by ``--backend``: ``(graph, sql_repo)``.
+
+    ``memory`` (the default) parses the DDL into the in-memory graph and
+    returns ``(graph, None)``.  ``sqlite`` bulk-loads the DDL into a
+    SQLite repository -- at ``--db DIR`` if given, else ``:memory:`` --
+    and returns the live :class:`~repro.repository.sql.SqlGraph`; query
+    evaluation over it picks the STRUQL->SQL pushdown engine
+    automatically.
+    """
+    backend = getattr(args, "backend", "memory") or "memory"
+    parsed = _load_graph(args.data)
+    if backend == "memory":
+        return parsed, None
+    from .repository.sql import SqlRepository
+
+    repository = SqlRepository(getattr(args, "db", None))
+    name = parsed.name or "data"
+    repository.store(name, parsed)
+    return repository.fetch(name), repository
+
+
+def _add_backend_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="data graph storage backend (sqlite enables SQL pushdown)",
+    )
+    command.add_argument(
+        "--db",
+        metavar="DIR",
+        help="SQLite repository directory for --backend sqlite "
+        "(default: a transient in-memory database)",
+    )
+
+
 def _load_templates(directory: str) -> TemplateSet:
     templates = TemplateSet()
     names: List[str] = []
@@ -152,7 +189,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     """Resilient multi-source ingest: build a warehouse from whatever
     survives, report what degraded, and say so in the exit code."""
     from .mediator import Mediator
-    from .repository import Repository
+    from .repository import open_repository
     from .resilience import ResiliencePolicy, ResilienceReport, WrapPolicy
 
     constraint_policy = None
@@ -165,7 +202,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         wrap=WrapPolicy.tolerant(args.max_errors, constraints=constraint_policy),
         min_sources=args.min_sources,
     )
-    repository = Repository(args.repository) if args.repository else None
+    repository = (
+        open_repository(args.repository, args.backend)
+        if args.repository
+        else None
+    )
     mediator = Mediator(repository, policy=policy)
     for spec in args.source:
         name, kind, path = _parse_source_spec(spec)
@@ -190,7 +231,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    data = _load_graph(args.data)
+    data, _ = _open_data(args)
     templates = _load_templates(args.templates)
     definition = SiteDefinition(
         name=args.name,
@@ -304,7 +345,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_bindings(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.data)
+    graph, _ = _open_data(args)
     rows = query_bindings(args.query, graph)
     for row in rows:
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
@@ -322,7 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import ServeCore, SiteServer
 
-    data = _load_graph(args.data)
+    data, _ = _open_data(args)
     templates = _load_templates(args.templates)
     core = ServeCore(
         _read(args.query),
@@ -416,7 +457,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not args.data:
         print("repro stats: error: give a DDL file or --serve URL", file=sys.stderr)
         return 2
-    graph = _load_graph(args.data)
+    graph, sql_repo = _open_data(args)
+    print(f"backend: {'sqlite' if sql_repo is not None else 'memory'}")
+    if sql_repo is not None:
+        print(f"db file size: {sql_repo.file_size()} bytes")
+        rows = sql_repo.index_row_counts()
+        rendered = " ".join(f"{table}={count}" for table, count in sorted(rows.items()))
+        print(f"index rows: {rendered}")
     for key, value in graph.stats().items():
         print(f"{key}: {value}")
     for collection in graph.collection_names():
@@ -428,11 +475,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(f"delta log: {delta.size()} mutations buffered since epoch 0")
     if args.query:
-        from .struql import Metrics, QueryEngine, parse as parse_struql
+        from .struql import Metrics, make_engine, parse as parse_struql
 
         text = _read(args.query) if os.path.exists(args.query) else args.query
         conditions = parse_struql(text).queries[0].where
-        engine = QueryEngine(graph)
+        engine = make_engine(graph)
         for run in ("cold", "warm"):
             engine.metrics = Metrics()
             engine.bindings(conditions)
@@ -446,12 +493,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"dedup_hits={metrics.dedup_hits} "
                 f"path_memo_hits={metrics.path_memo_hits}"
             )
+            if sql_repo is not None:
+                print(
+                    f"{run} sql: pushdowns={metrics.sql_pushdowns} "
+                    f"pushed_conditions={metrics.sql_pushed_conditions} "
+                    f"rows_fetched={metrics.sql_rows_fetched} "
+                    f"fallbacks={metrics.sql_fallbacks}"
+                )
         cache = engine.plan_cache.stats()
         print(
             f"plan cache: hits={cache['hits']} misses={cache['misses']} "
             f"plans={cache['plans']} nfas={cache['nfas']} "
             f"path_hits={cache['path_hits']} path_misses={cache['path_misses']} "
-            f"path_entries={cache['path_entries']}"
+            f"path_entries={cache['path_entries']} "
+            f"sql_hits={cache['sql_hits']} sql_misses={cache['sql_misses']} "
+            f"sql_plans={cache['sql_plans']}"
         )
     if getattr(args, "constraints", None):
         from .constraints import ConstraintChecker
@@ -537,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--analyze", action="store_true",
                        help="run static analysis first; refuse to build "
                             "on error-severity findings")
+    _add_backend_flags(build)
     build.set_defaults(func=_cmd_build)
 
     analyze = sub.add_parser(
@@ -579,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     bindings = sub.add_parser("bindings", help="evaluate a where clause")
     bindings.add_argument("--data", required=True)
     bindings.add_argument("query", help="STRUQL text (where clause)")
+    _add_backend_flags(bindings)
     bindings.set_defaults(func=_cmd_bindings)
 
     serve = sub.add_parser(
@@ -603,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N seconds then drain (default: "
                             "until SIGINT)")
+    _add_backend_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="size summary of a DDL graph")
@@ -622,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "breaker states, recovery events); give the "
                             "JSON report written by 'ingest --report' to "
                             "summarize a past run")
+    _add_backend_flags(stats)
     stats.set_defaults(func=_cmd_stats)
 
     ingest = sub.add_parser(
@@ -642,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--repository", metavar="DIR",
                         help="repository directory for generational "
                              "persistence and stale fallback")
+    ingest.add_argument("--backend", choices=("ddl", "sqlite"), default="ddl",
+                        help="repository backend for --repository: "
+                             "checksummed DDL files or one SQLite database "
+                             "(materializes transactionally in-store)")
     ingest.add_argument("--report", metavar="FILE",
                         help="write the resilience report as JSON")
     ingest.add_argument("--constraints", metavar="PATH",

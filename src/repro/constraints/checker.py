@@ -21,7 +21,7 @@ import re
 from typing import Dict, List, Optional, Tuple
 
 from ..graph import Atom, Graph, Oid
-from ..struql.eval import QueryEngine
+from ..struql.eval import QueryEngine, make_engine
 from ..struql.footprint import Footprint
 from .model import (
     CheckCounters,
@@ -103,7 +103,7 @@ class ConstraintChecker:
 
     def engine(self) -> QueryEngine:
         if self._engine is None:
-            self._engine = QueryEngine(self.graph)
+            self._engine = make_engine(self.graph)
         return self._engine
 
     def check_subject(

@@ -33,7 +33,7 @@ from ..errors import SiteDefinitionError
 from ..graph import Atom, AtomType, Graph, Oid
 from ..graph.delta import GraphDelta
 from ..struql.ast import Const, Program, Query, SkolemTerm, Var
-from ..struql.eval import Binding, QueryEngine, Value
+from ..struql.eval import Binding, QueryEngine, Value, make_engine
 from ..struql.footprint import Footprint
 from ..struql.parser import parse
 from .schema import NS, SchemaCreation, SchemaEdge, SiteSchema
@@ -142,7 +142,7 @@ class DynamicSite:
         self.metrics = ClickMetrics()
         # set-at-a-time evaluation by default; use_blocks=False is the
         # row-at-a-time ablation, end to end through the click path
-        self._engine = QueryEngine(data_graph, use_blocks=use_blocks)
+        self._engine = make_engine(data_graph, use_blocks=use_blocks)
         #: key -> (expanded edges, read footprint, owning instance)
         self._edge_cache: Dict[
             Tuple[int, InstanceArgs], Tuple[List[ExpandedEdge], Footprint, NodeInstance]

@@ -50,7 +50,7 @@ from ..struql.ast import (
     Query,
     Var,
 )
-from ..struql.eval import Binding, QueryEngine, _Constructor, Metrics
+from ..struql.eval import Binding, QueryEngine, _Constructor, Metrics, make_engine
 from ..struql.parser import parse
 
 
@@ -97,7 +97,7 @@ class SiteMaintainer:
         # one warm engine for every maintenance pass: plans, the
         # statistics snapshot, and the path-reachability memo carry
         # across updates (epoch-invalidated); set-at-a-time by default
-        self._engine = QueryEngine(data_graph, use_blocks=use_blocks)
+        self._engine = make_engine(data_graph, use_blocks=use_blocks)
         if site_graph is None:
             site_graph = self._evaluate_all()
         self.site_graph = site_graph

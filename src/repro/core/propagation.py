@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..errors import StrudelError
 from ..graph import Atom, Oid, Target, atoms_equal, from_python
 from ..struql.ast import Const, EdgeCond, Var
-from ..struql.eval import Binding, QueryEngine
+from ..struql.eval import Binding, QueryEngine, make_engine
 from .incremental import DynamicSite, NodeInstance
 from .maintenance import SiteMaintainer
 from .schema import SchemaEdge
@@ -95,7 +95,7 @@ class EditPropagator:
                 f"{page_oid} is not a Skolem-created page of this site"
             )
         origins: Dict[DataOrigin, None] = {}
-        engine = QueryEngine(self.maintainer.data_graph)
+        engine = make_engine(self.maintainer.data_graph)
         for schema_edge in self._dynamic.schema.edges_from(instance.function):
             if len(schema_edge.source_args) != len(instance.args):
                 continue

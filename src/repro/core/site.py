@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import SiteAnalysisError, SiteDefinitionError
 from ..graph import Graph, Oid
-from ..struql import Metrics, Program, QueryEngine, evaluate, parse
+from ..struql import Metrics, Program, QueryEngine, evaluate, make_engine, parse
 from ..template import GeneratedSite, HtmlGenerator, TemplateSet
 from .constraints import CheckResult, Formula, check
 from .incremental import DynamicSite
@@ -93,7 +93,7 @@ class SiteBuilder:
         self._definitions: Dict[str, SiteDefinition] = {}
         # one warm engine for every build: plans and statistics carry
         # across rebuilds and are invalidated by the graph epoch
-        self._engine = QueryEngine(data_graph)
+        self._engine = make_engine(data_graph)
 
     # ------------------------------------------------------------ #
 

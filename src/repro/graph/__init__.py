@@ -13,6 +13,7 @@ from .values import (
     AtomType,
     atoms_equal,
     boolean,
+    coercion_probes,
     compare_atoms,
     from_python,
     html_file,
@@ -44,6 +45,7 @@ __all__ = [
     "Target",
     "atoms_equal",
     "boolean",
+    "coercion_probes",
     "compare_atoms",
     "from_python",
     "html_file",

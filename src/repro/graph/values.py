@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Union
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 
 class AtomType(enum.Enum):
@@ -201,6 +202,40 @@ def atoms_equal(left: Atom, right: Atom) -> bool:
     if left_num is not None and right_num is not None:
         return left_num == right_num
     return left.as_string() == right.as_string()
+
+
+@lru_cache(maxsize=4096)
+def coercion_probes(atom: Atom) -> Tuple[Atom, ...]:
+    """All exact spellings a coercing equality against ``atom`` can match.
+
+    Exact-match value indexes (the in-memory reverse adjacency, the
+    SQLite ``atoms`` table) store atoms verbatim, but STRUQL equality
+    coerces: a probe for ``"1998"`` must also try the INTEGER and FLOAT
+    spellings, and vice versa.  The probe order is significant -- index
+    lookups report matches probe-by-probe -- so both engines share this
+    one definition.  Memoized per distinct atom: the same constant is
+    probed for every frontier row, and the spelling set never changes.
+    """
+    probes: List[Atom] = [atom]
+    number = atom.as_number()
+    if number is not None:
+        as_int = Atom(AtomType.INTEGER, int(number)) if number == int(number) else None
+        candidates = [as_int, Atom(AtomType.FLOAT, float(number))]
+        text = atom.as_string()
+        for atom_type in (AtomType.STRING, AtomType.URL):
+            candidates.append(Atom(atom_type, text))
+        if number == int(number):
+            candidates.append(Atom(AtomType.STRING, str(int(number))))
+        for candidate in candidates:
+            if candidate is not None and candidate not in probes:
+                probes.append(candidate)
+    else:
+        text = atom.as_string()
+        for atom_type in (AtomType.STRING, AtomType.URL, AtomType.TEXT_FILE):
+            candidate = Atom(atom_type, text)
+            if candidate not in probes:
+                probes.append(candidate)
+    return tuple(probes)
 
 
 def compare_atoms(left: Atom, right: Atom) -> int:

@@ -87,6 +87,9 @@ class Mediator:
         repository: Optional[Repository] = None,
         policy: Optional[ResiliencePolicy] = None,
     ) -> None:
+        #: either repository backend works here: the in-memory/DDL-file
+        #: :class:`Repository` or a :class:`~repro.repository.sql.SqlRepository`
+        #: (whose ``rebuild`` hook materializes transactionally in-store)
         self.repository = repository
         #: default resilience policy; ``None`` keeps mediation strict
         self.policy = policy
@@ -259,7 +262,37 @@ class Mediator:
                 return self._stale_fallback(name, survivors, report, policy)
         else:
             unavailable = set()
+        if self.repository is not None and hasattr(self.repository, "rebuild"):
+            # transactional backends (the SQLite repository) expose
+            # ``rebuild``: imports, mappings, constraint checks, and the
+            # provenance stamp all write directly into the store inside
+            # one transaction, skipping the build-then-copy of the
+            # in-memory path; an exception rolls the whole build back,
+            # leaving the previous generation of ``name`` untouched
+            with self.repository.rebuild(name) as warehouse:
+                self._populate_warehouse(
+                    staging, warehouse, unavailable, policy, report
+                )
+            report.warehouse_size = warehouse.stats()
+            return warehouse
         warehouse = Graph(name)
+        self._populate_warehouse(staging, warehouse, unavailable, policy, report)
+        report.warehouse_size = warehouse.stats()
+        if self.repository is not None:
+            self.repository.store(name, warehouse)
+        return warehouse
+
+    def _populate_warehouse(
+        self,
+        staging: Graph,
+        warehouse: Graph,
+        unavailable: set,
+        policy: Optional[ResiliencePolicy],
+        report: MediationReport,
+    ) -> None:
+        """Run imports, mappings, the warehouse-level constraint pass,
+        and the provenance stamp against ``warehouse`` (an in-memory
+        graph or a transactional store target)."""
         for spec in self._imports:
             if spec.source in unavailable:
                 continue
@@ -276,10 +309,6 @@ class Mediator:
             self._apply_warehouse_constraints(warehouse, policy, report)
         if policy is not None:
             self._stamp_provenance(warehouse, report)
-        report.warehouse_size = warehouse.stats()
-        if self.repository is not None:
-            self.repository.store(name, warehouse)
-        return warehouse
 
     def ingest(
         self, name: str = "data", policy: Optional[ResiliencePolicy] = None

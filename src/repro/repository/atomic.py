@@ -1,0 +1,35 @@
+"""Crash-safe file-write primitive shared by every storage backend.
+
+One copy of the tmp+fsync+rename dance, used by the DDL store
+(:mod:`repro.repository.store`), the SQLite backend's DDL export
+(:mod:`repro.repository.sql`), and the resilience report writer
+(:mod:`repro.resilience.report`).  Previously each grew its own copy;
+they drifted on fsync behaviour, which is exactly the kind of bug a
+chaos harness exists to catch -- so the harness hooks are part of the
+shared primitive, not the callers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..resilience.chaos import maybe_fail
+
+
+def atomic_write_text(path: str, text: str, site: str) -> None:
+    """Write ``text`` to ``path`` via tmp+fsync+rename.
+
+    The ``site``-prefixed chaos hooks mark the three points a crash can
+    land: before the tmp write, after writing but before fsync, and
+    after fsync but before the rename.  At every one of them, ``path``
+    still holds its previous content in full.
+    """
+    maybe_fail(f"{site}.tmp")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        maybe_fail(f"{site}.flush")
+        handle.flush()
+        os.fsync(handle.fileno())
+    maybe_fail(f"{site}.rename")
+    os.replace(tmp, path)

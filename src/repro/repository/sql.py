@@ -1,0 +1,1768 @@
+"""SQLite edge-triple storage backend behind the Repository interface.
+
+The in-memory :class:`~repro.graph.Graph` holds the whole data graph in
+RAM -- the scalability ceiling the paper's section 7 names.  This module
+stores the same model in SQLite: an edge-triple schema (``nodes``,
+``edges``, ``atoms``) with the label / collection / value indexes the
+paper insists on realized as real SQL indexes, WAL journaling, and a
+bulk-load path.  :class:`SqlGraph` exposes the full ``Graph`` read/write
+API over that schema -- including iteration *order*, which STRUQL binding
+relations observe -- and :class:`SqlRepository` exposes the familiar
+``Repository`` surface (store/fetch/delete/statistics/schema_index).
+
+Ordering is replicated structurally rather than by sorting in Python:
+
+* ``nodes.id`` is monotonic and rows are deleted on ``remove_node``, so
+  ``ORDER BY id`` replays dict-insertion order of ``Graph._out``;
+* ``egroups`` rows track the *label groups* of ``_out[source]`` -- one
+  row per live ``(source, label)``, deleted when the last edge of the
+  group goes, so a re-added group takes a fresh ``seq`` exactly like a
+  re-inserted dict key moves to the end;
+* ``labels`` / ``label_values`` / ``collections`` rows mirror the
+  lives-while-nonempty dicts ``_by_label`` / ``_label_values`` /
+  ``_collections``;
+* ``atoms.seq`` is assigned when an atom gains its first incoming edge
+  and cleared at zero references, replaying the ``_in``-key order that
+  ``Graph.atoms()`` iterates.
+
+The delta log is journaled into a SQLite table (``journal``), so edits
+are durable for free; :meth:`SqlGraph.delta_since` honours the same
+bounded-history ``None`` contract as :class:`~repro.graph.DeltaLog`.
+
+``atom_probes`` materializes :func:`~repro.graph.values.coercion_probes`
+for every stored atom so the compiled-SQL evaluator can resolve coercing
+equality probes with a join instead of a per-row Python callback.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..errors import GraphError, RepositoryError, UnknownObjectError
+from ..graph import (
+    Atom,
+    AtomType,
+    Graph,
+    Oid,
+    OidAllocator,
+    SkolemRegistry,
+    coercion_probes,
+    from_python,
+)
+from ..graph.delta import (
+    _COLLECTION_CREATE,
+    _EDGE_ADD,
+    _EDGE_REMOVE,
+    _MEMBER_ADD,
+    _MEMBER_REMOVE,
+    _NODE_ADD,
+    _NODE_REMOVE,
+    GraphDelta,
+)
+from . import ddl
+from .atomic import atomic_write_text
+from .indexes import IndexStatistics, SchemaIndex, graph_statistics
+
+Target = Union[Oid, Atom]
+
+#: Default database filename inside a repository directory.
+REPOSITORY_FILENAME = "repository.sqlite"
+
+#: Journal ring bound, mirroring DeltaLog(maxlen=4096).
+JOURNAL_MAXLEN = 4096
+
+#: How many epochs between journal-prune checks (the prune itself is
+#: exact; only the check is amortized).
+_PRUNE_INTERVAL = 256
+
+#: Cap on the name->id lookup caches before they are dropped wholesale.
+_CACHE_CAP = 65536
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS graphs(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT NOT NULL UNIQUE,
+    epoch INTEGER NOT NULL DEFAULT 0,
+    node_count INTEGER NOT NULL DEFAULT 0,
+    edge_count INTEGER NOT NULL DEFAULT 0,
+    atoms_live INTEGER NOT NULL DEFAULT 0,
+    journal_floor INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS nodes(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    UNIQUE(graph, name)
+);
+CREATE TABLE IF NOT EXISTS atoms(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    typ TEXT NOT NULL,
+    val TEXT NOT NULL,
+    str TEXT NOT NULL,
+    num NUMERIC,
+    refs INTEGER NOT NULL DEFAULT 0,
+    seq INTEGER,
+    UNIQUE(graph, typ, val)
+);
+CREATE INDEX IF NOT EXISTS idx_atoms_num ON atoms(graph, num);
+CREATE INDEX IF NOT EXISTS idx_atoms_str ON atoms(graph, str);
+CREATE INDEX IF NOT EXISTS idx_atoms_seq ON atoms(graph, seq);
+CREATE TABLE IF NOT EXISTS edges(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    src INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    tgt_node INTEGER,
+    tgt_atom INTEGER
+);
+CREATE INDEX IF NOT EXISTS idx_edges_src ON edges(graph, src, label);
+CREATE INDEX IF NOT EXISTS idx_edges_label ON edges(graph, label);
+CREATE INDEX IF NOT EXISTS idx_edges_tnode ON edges(graph, tgt_node);
+CREATE INDEX IF NOT EXISTS idx_edges_tatom ON edges(graph, tgt_atom);
+CREATE TABLE IF NOT EXISTS egroups(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    src INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    UNIQUE(graph, src, label)
+);
+CREATE TABLE IF NOT EXISTS labels(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    count INTEGER NOT NULL DEFAULT 0,
+    distinct_values INTEGER NOT NULL DEFAULT 0,
+    UNIQUE(graph, label)
+);
+CREATE TABLE IF NOT EXISTS label_values(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    atom INTEGER NOT NULL,
+    count INTEGER NOT NULL DEFAULT 0,
+    UNIQUE(graph, label, atom)
+);
+CREATE TABLE IF NOT EXISTS collections(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    count INTEGER NOT NULL DEFAULT 0,
+    UNIQUE(graph, name)
+);
+CREATE TABLE IF NOT EXISTS members(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    collection TEXT NOT NULL,
+    node INTEGER NOT NULL,
+    UNIQUE(graph, collection, node)
+);
+CREATE INDEX IF NOT EXISTS idx_members_node ON members(graph, node);
+CREATE TABLE IF NOT EXISTS atom_probes(
+    graph INTEGER NOT NULL,
+    atom INTEGER NOT NULL,
+    probe INTEGER NOT NULL,
+    rank INTEGER NOT NULL,
+    PRIMARY KEY(graph, atom, rank)
+);
+CREATE INDEX IF NOT EXISTS idx_probes_probe ON atom_probes(graph, probe);
+CREATE TABLE IF NOT EXISTS journal(
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph INTEGER NOT NULL,
+    epoch INTEGER NOT NULL,
+    kind INTEGER NOT NULL,
+    a TEXT, b TEXT, c TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_journal ON journal(graph, epoch);
+"""
+
+#: Tables carrying per-graph rows, in truncation order.
+_GRAPH_TABLES = (
+    "nodes", "atoms", "edges", "egroups", "labels",
+    "label_values", "collections", "members", "atom_probes", "journal",
+)
+
+
+# ------------------------------------------------------------------ #
+# value encoding
+
+
+def atom_val(atom: Atom) -> str:
+    """Canonical payload text for the ``atoms.val`` column (injective
+    per type, so UNIQUE(graph, typ, val) is exactly Atom equality)."""
+    if atom.type is AtomType.INTEGER:
+        return str(int(atom.value))
+    if atom.type is AtomType.FLOAT:
+        return repr(float(atom.value))
+    if atom.type is AtomType.BOOLEAN:
+        return "true" if atom.value else "false"
+    return str(atom.value)
+
+
+def decode_atom(typ: str, val: str) -> Atom:
+    atom_type = AtomType(typ)
+    if atom_type is AtomType.INTEGER:
+        return Atom(atom_type, int(val))
+    if atom_type is AtomType.FLOAT:
+        return Atom(atom_type, float(val))
+    if atom_type is AtomType.BOOLEAN:
+        return Atom(atom_type, val == "true")
+    return Atom(atom_type, val)
+
+
+def atom_num(atom: Atom) -> Optional[float]:
+    """``as_number()`` guarded for huge-int payloads SQLite can't hold."""
+    try:
+        return atom.as_number()
+    except OverflowError:
+        return None
+
+
+def _encode(value: object) -> Optional[str]:
+    """Journal-column encoding of an Oid / Atom / label string."""
+    if value is None:
+        return None
+    if isinstance(value, Oid):
+        return "o" + value.name
+    if isinstance(value, Atom):
+        return "a" + value.type.value + "\x1f" + atom_val(value)
+    return "s" + str(value)
+
+
+def _decode(text: Optional[str]) -> object:
+    if text is None:
+        return None
+    tag, rest = text[0], text[1:]
+    if tag == "o":
+        return Oid(rest)
+    if tag == "a":
+        typ, val = rest.split("\x1f", 1)
+        return decode_atom(typ, val)
+    return rest
+
+
+# ------------------------------------------------------------------ #
+# connection wrapper
+
+
+class SqlStore:
+    """One SQLite connection (WAL, explicit transactions) plus a lock.
+
+    All statements run under an RLock so the serving tier's worker
+    threads can read one store concurrently; :meth:`batch` groups the
+    multi-statement graph mutations into a single transaction (nested
+    batches join the outermost one).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            path, isolation_level=None, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA temp_store=MEMORY")
+        self._depth = 0
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+
+    def execute(self, sql: str, params: Iterable[object] = ()) -> sqlite3.Cursor:
+        with self._lock:
+            return self._conn.execute(sql, tuple(params))
+
+    def executemany(self, sql: str, rows: Iterable[Tuple]) -> None:
+        with self._lock:
+            self._conn.executemany(sql, rows)
+
+    def query(self, sql: str, params: Iterable[object] = ()) -> List[Tuple]:
+        with self._lock:
+            return self._conn.execute(sql, tuple(params)).fetchall()
+
+    def query_named(self, sql: str, params: Dict[str, object]) -> List[Tuple]:
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def scalar(self, sql: str, params: Iterable[object] = ()) -> Optional[object]:
+        rows = self.query(sql, params)
+        return rows[0][0] if rows else None
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group statements into one transaction; reentrant."""
+        with self._lock:
+            if self._depth == 0:
+                self._conn.execute("BEGIN IMMEDIATE")
+            self._depth += 1
+            try:
+                yield
+            except BaseException:
+                self._depth -= 1
+                if self._depth == 0:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._depth -= 1
+                if self._depth == 0:
+                    self._conn.execute("COMMIT")
+
+    def file_size(self) -> int:
+        """Bytes on disk (main database + WAL), 0 for :memory:."""
+        if self.path == ":memory:":
+            return 0
+        total = 0
+        for suffix in ("", "-wal"):
+            candidate = self.path + suffix
+            if os.path.exists(candidate):
+                total += os.path.getsize(candidate)
+        return total
+
+    def table_counts(self) -> Dict[str, int]:
+        """Per-table row counts (the `repro stats` index report)."""
+        counts = {}
+        for table in ("graphs",) + _GRAPH_TABLES:
+            counts[table] = int(self.scalar(f"SELECT COUNT(*) FROM {table}") or 0)
+        return counts
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+# ------------------------------------------------------------------ #
+# the graph adapter
+
+
+class SqlGraph:
+    """The full :class:`~repro.graph.Graph` API over the SQLite schema.
+
+    Semantics -- including iteration order, duplicate-edge no-ops, error
+    types, and epoch/delta bookkeeping -- mirror the in-memory graph
+    method by method; the hypothesis suite in ``tests/test_sql_backend``
+    replays identical mutation scripts against both and compares binding
+    relations row-for-row.
+
+    One writer per graph at a time is assumed (as with the in-memory
+    graph); reads are thread-safe through the store lock.  The oid
+    allocator and Skolem registry are session-local, like a graph loaded
+    from DDL: the allocator is re-seeded from the highest stored
+    anonymous oid on open.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, store: SqlStore, graph_id: int, name: str) -> None:
+        self._store = store
+        self._graph_id = graph_id
+        self.name = name
+        #: epoch-stamped IndexStatistics snapshot, owned by repository.indexes
+        self._stats_cache: Optional[object] = None
+        self.allocator = OidAllocator()
+        self.skolems = SkolemRegistry()
+        # id->object caches never go stale (AUTOINCREMENT ids are not
+        # reused); name->id caches are invalidated by the mutators.
+        self._oid_of_id: Dict[int, Oid] = {}
+        self._atom_of_id: Dict[int, Atom] = {}
+        self._id_of_name: Dict[str, int] = {}
+        self._id_of_atom: Dict[Tuple[str, str], int] = {}
+        self.allocator.reserve_past(self._max_anonymous())
+
+    # -------------------------------------------------------------- #
+    # store plumbing
+
+    def _ex(self, sql: str, params: Iterable[object] = ()) -> sqlite3.Cursor:
+        return self._store.execute(sql, params)
+
+    def _q(self, sql: str, params: Iterable[object] = ()) -> List[Tuple]:
+        return self._store.query(sql, params)
+
+    def _s(self, sql: str, params: Iterable[object] = ()) -> Optional[object]:
+        return self._store.scalar(sql, params)
+
+    def _state(self, column: str) -> int:
+        value = self._s(
+            f"SELECT {column} FROM graphs WHERE id=?", (self._graph_id,)
+        )
+        return int(value or 0)
+
+    def _reset_caches(self) -> None:
+        self._stats_cache = None
+        self._oid_of_id.clear()
+        self._atom_of_id.clear()
+        self._id_of_name.clear()
+        self._id_of_atom.clear()
+
+    def _oid(self, node_id: int, name: str) -> Oid:
+        cached = self._oid_of_id.get(node_id)
+        if cached is None:
+            cached = Oid(name)
+            if len(self._oid_of_id) > _CACHE_CAP:
+                self._oid_of_id.clear()
+            self._oid_of_id[node_id] = cached
+        return cached
+
+    def _atom(self, atom_id: int, typ: str, val: str) -> Atom:
+        cached = self._atom_of_id.get(atom_id)
+        if cached is None:
+            cached = decode_atom(typ, val)
+            if len(self._atom_of_id) > _CACHE_CAP:
+                self._atom_of_id.clear()
+            self._atom_of_id[atom_id] = cached
+        return cached
+
+    def _target(
+        self,
+        tgt_node: Optional[int],
+        tgt_atom: Optional[int],
+        node_name: Optional[str],
+        atom_typ: Optional[str],
+        atom_val: Optional[str],
+    ) -> Target:
+        if tgt_node is not None:
+            return self._oid(tgt_node, node_name or "")
+        assert tgt_atom is not None
+        return self._atom(tgt_atom, atom_typ or "", atom_val or "")
+
+    def _node_id(self, oid: object) -> Optional[int]:
+        if not isinstance(oid, Oid):
+            return None
+        cached = self._id_of_name.get(oid.name)
+        if cached is not None:
+            return cached
+        found = self._s(
+            "SELECT id FROM nodes WHERE graph=? AND name=?",
+            (self._graph_id, oid.name),
+        )
+        if found is not None:
+            if len(self._id_of_name) > _CACHE_CAP:
+                self._id_of_name.clear()
+            self._id_of_name[oid.name] = int(found)
+            self._oid_of_id.setdefault(int(found), oid)
+            return int(found)
+        return None
+
+    def _atom_id(self, atom: Atom) -> Optional[int]:
+        key = (atom.type.value, atom_val(atom))
+        cached = self._id_of_atom.get(key)
+        if cached is not None:
+            return cached
+        found = self._s(
+            "SELECT id FROM atoms WHERE graph=? AND typ=? AND val=?",
+            (self._graph_id,) + key,
+        )
+        if found is not None:
+            if len(self._id_of_atom) > _CACHE_CAP:
+                self._id_of_atom.clear()
+            self._id_of_atom[key] = int(found)
+            self._atom_of_id.setdefault(int(found), atom)
+            return int(found)
+        return None
+
+    def resolve_nodes(self, ids: Iterable[int]) -> Dict[int, Oid]:
+        """Batch-decode node row ids to oids (the SQL compiler's result
+        decoder calls this once per fetched column, not once per row)."""
+        out: Dict[int, Oid] = {}
+        missing: List[int] = []
+        for node_id in ids:
+            cached = self._oid_of_id.get(node_id)
+            if cached is None:
+                missing.append(node_id)
+            else:
+                out[node_id] = cached
+        for start in range(0, len(missing), 500):
+            chunk = missing[start:start + 500]
+            marks = ",".join("?" * len(chunk))
+            for node_id, name in self._q(
+                f"SELECT id, name FROM nodes WHERE id IN ({marks})", chunk
+            ):
+                out[node_id] = self._oid(node_id, name)
+        return out
+
+    def resolve_atoms(self, ids: Iterable[int]) -> Dict[int, Atom]:
+        """Batch-decode atom row ids, mirroring :meth:`resolve_nodes`."""
+        out: Dict[int, Atom] = {}
+        missing: List[int] = []
+        for atom_id in ids:
+            cached = self._atom_of_id.get(atom_id)
+            if cached is None:
+                missing.append(atom_id)
+            else:
+                out[atom_id] = cached
+        for start in range(0, len(missing), 500):
+            chunk = missing[start:start + 500]
+            marks = ",".join("?" * len(chunk))
+            for atom_id, typ, val in self._q(
+                f"SELECT id, typ, val FROM atoms WHERE id IN ({marks})", chunk
+            ):
+                out[atom_id] = self._atom(atom_id, typ, val)
+        return out
+
+    def _bump(self) -> int:
+        self._ex(
+            "UPDATE graphs SET epoch=epoch+1 WHERE id=?", (self._graph_id,)
+        )
+        return self._state("epoch")
+
+    def _journal(
+        self,
+        epoch: int,
+        kind: int,
+        a: object = None,
+        b: object = None,
+        c: object = None,
+    ) -> None:
+        self._ex(
+            "INSERT INTO journal(graph,epoch,kind,a,b,c) VALUES(?,?,?,?,?,?)",
+            (self._graph_id, epoch, kind, _encode(a), _encode(b), _encode(c)),
+        )
+        if epoch % _PRUNE_INTERVAL == 0:
+            self._prune_journal()
+
+    def _prune_journal(self) -> None:
+        total = int(
+            self._s(
+                "SELECT COUNT(*) FROM journal WHERE graph=?", (self._graph_id,)
+            )
+            or 0
+        )
+        if total <= JOURNAL_MAXLEN:
+            return
+        rows = self._q(
+            "SELECT id, epoch FROM journal WHERE graph=? ORDER BY id LIMIT ?",
+            (self._graph_id, total - JOURNAL_MAXLEN),
+        )
+        last_id, floor_epoch = rows[-1]
+        self._ex(
+            "DELETE FROM journal WHERE graph=? AND id<=?",
+            (self._graph_id, last_id),
+        )
+        self._ex(
+            "UPDATE graphs SET journal_floor=MAX(journal_floor, ?) WHERE id=?",
+            (floor_epoch, self._graph_id),
+        )
+
+    # -------------------------------------------------------------- #
+    # epochs and deltas
+
+    @property
+    def epoch(self) -> int:
+        return self._state("epoch")
+
+    def delta_since(self, epoch: int) -> Optional[GraphDelta]:
+        """Everything that changed after ``epoch``, or ``None`` when the
+        journal ring no longer reaches back that far."""
+        row = self._q(
+            "SELECT journal_floor, epoch FROM graphs WHERE id=?",
+            (self._graph_id,),
+        )
+        floor, current = row[0]
+        if epoch < floor:
+            return None
+        delta = GraphDelta(epoch, current)
+        records = self._q(
+            "SELECT epoch, kind, a, b, c FROM journal"
+            " WHERE graph=? AND epoch>? ORDER BY id",
+            (self._graph_id, epoch),
+        )
+        for _, kind, a, b, c in records:
+            if kind == _EDGE_ADD:
+                delta.edges_added.append((_decode(a), _decode(b), _decode(c)))
+            elif kind == _EDGE_REMOVE:
+                delta.edges_removed.append((_decode(a), _decode(b), _decode(c)))
+            elif kind == _NODE_ADD:
+                delta.nodes_added.append(_decode(a))
+            elif kind == _NODE_REMOVE:
+                delta.nodes_removed.append(_decode(a))
+            elif kind == _MEMBER_ADD:
+                delta.members_added.append((_decode(a), _decode(b)))
+            elif kind == _MEMBER_REMOVE:
+                delta.members_removed.append((_decode(a), _decode(b)))
+            elif kind == _COLLECTION_CREATE:
+                delta.collections_created.append(_decode(a))
+        return delta
+
+    # -------------------------------------------------------------- #
+    # nodes
+
+    def add_node(self, oid: Optional[Oid] = None, hint: str = "") -> Oid:
+        if oid is None:
+            oid = self.allocator.fresh(hint)
+        with self._store.batch():
+            if self._node_id(oid) is None:
+                cursor = self._ex(
+                    "INSERT INTO nodes(graph,name) VALUES(?,?)",
+                    (self._graph_id, oid.name),
+                )
+                node_id = int(cursor.lastrowid)
+                self._id_of_name[oid.name] = node_id
+                self._oid_of_id[node_id] = oid
+                self._ex(
+                    "UPDATE graphs SET node_count=node_count+1 WHERE id=?",
+                    (self._graph_id,),
+                )
+                epoch = self._bump()
+                self._journal(epoch, _NODE_ADD, oid)
+        return oid
+
+    def skolem(self, function: str, *args: object) -> Oid:
+        wrapped = tuple(
+            a if isinstance(a, Oid) else from_python(a) for a in args
+        )
+        oid = self.skolems.apply(function, wrapped)
+        return self.add_node(oid)
+
+    def has_node(self, oid: Oid) -> bool:
+        return self._node_id(oid) is not None
+
+    def nodes(self) -> Iterator[Oid]:
+        for node_id, name in self._q(
+            "SELECT id, name FROM nodes WHERE graph=? ORDER BY id",
+            (self._graph_id,),
+        ):
+            yield self._oid(node_id, name)
+
+    @property
+    def node_count(self) -> int:
+        return self._state("node_count")
+
+    def remove_node(self, oid: Oid) -> None:
+        if not self.has_node(oid):
+            raise UnknownObjectError(oid)
+        with self._store.batch():
+            for label, target in list(self.out_edges(oid)):
+                self.remove_edge(oid, label, target)
+            for source, label in list(self.in_edges(oid)):
+                self.remove_edge(source, label, oid)
+            node_id = self._node_id(oid)
+            dropped_from = [
+                name
+                for (name,) in self._q(
+                    "SELECT c.name FROM collections c JOIN members m"
+                    " ON m.graph=c.graph AND m.collection=c.name AND m.node=?"
+                    " WHERE c.graph=? ORDER BY c.seq",
+                    (node_id, self._graph_id),
+                )
+            ]
+            for name in dropped_from:
+                self._ex(
+                    "DELETE FROM members WHERE graph=? AND collection=? AND node=?",
+                    (self._graph_id, name, node_id),
+                )
+                self._ex(
+                    "UPDATE collections SET count=count-1 WHERE graph=? AND name=?",
+                    (self._graph_id, name),
+                )
+            self._ex("DELETE FROM nodes WHERE id=?", (node_id,))
+            self._id_of_name.pop(oid.name, None)
+            self._oid_of_id.pop(node_id, None)
+            self._ex(
+                "UPDATE graphs SET node_count=node_count-1 WHERE id=?",
+                (self._graph_id,),
+            )
+            epoch = self._bump()
+            self._journal(epoch, _NODE_REMOVE, oid)
+            for name in dropped_from:
+                self._journal(epoch, _MEMBER_REMOVE, name, oid)
+
+    # -------------------------------------------------------------- #
+    # edges
+
+    def add_edge(self, source: Oid, label: str, target: object) -> Target:
+        with self._store.batch():
+            src_id = self._node_id(source)
+            if src_id is None:
+                raise UnknownObjectError(source)
+            if isinstance(target, Oid):
+                stored: Target = target
+                tgt_id = self._node_id(target)
+                if tgt_id is None:
+                    raise UnknownObjectError(target)
+            elif isinstance(target, Atom):
+                stored = target
+            else:
+                stored = from_python(target)
+            if not isinstance(label, str) or not label:
+                raise GraphError(
+                    f"edge label must be a non-empty string, got {label!r}"
+                )
+            label = sys.intern(label)
+
+            if isinstance(stored, Oid):
+                if self._s(
+                    "SELECT 1 FROM edges WHERE graph=? AND src=? AND label=?"
+                    " AND tgt_node=? LIMIT 1",
+                    (self._graph_id, src_id, label, tgt_id),
+                ):
+                    return stored
+                atom_id: Optional[int] = None
+            else:
+                atom_id = self._atom_id(stored)
+                if atom_id is not None and self._s(
+                    "SELECT 1 FROM edges WHERE graph=? AND src=? AND label=?"
+                    " AND tgt_atom=? LIMIT 1",
+                    (self._graph_id, src_id, label, atom_id),
+                ):
+                    return stored
+                if atom_id is None:
+                    atom_id = self._create_atom(stored)
+
+            self._ex(
+                "INSERT INTO edges(graph,src,label,tgt_node,tgt_atom)"
+                " VALUES(?,?,?,?,?)",
+                (
+                    self._graph_id,
+                    src_id,
+                    label,
+                    tgt_id if isinstance(stored, Oid) else None,
+                    None if isinstance(stored, Oid) else atom_id,
+                ),
+            )
+            self._ex(
+                "INSERT OR IGNORE INTO egroups(graph,src,label) VALUES(?,?,?)",
+                (self._graph_id, src_id, label),
+            )
+            self._ex(
+                "INSERT INTO labels(graph,label,count) VALUES(?,?,1)"
+                " ON CONFLICT(graph,label) DO UPDATE SET count=count+1",
+                (self._graph_id, label),
+            )
+            if not isinstance(stored, Oid):
+                existing = self._s(
+                    "SELECT count FROM label_values"
+                    " WHERE graph=? AND label=? AND atom=?",
+                    (self._graph_id, label, atom_id),
+                )
+                if existing is None:
+                    self._ex(
+                        "INSERT INTO label_values(graph,label,atom,count)"
+                        " VALUES(?,?,?,1)",
+                        (self._graph_id, label, atom_id),
+                    )
+                    self._ex(
+                        "UPDATE labels SET distinct_values=distinct_values+1"
+                        " WHERE graph=? AND label=?",
+                        (self._graph_id, label),
+                    )
+                else:
+                    self._ex(
+                        "UPDATE label_values SET count=count+1"
+                        " WHERE graph=? AND label=? AND atom=?",
+                        (self._graph_id, label, atom_id),
+                    )
+                refs = int(
+                    self._s("SELECT refs FROM atoms WHERE id=?", (atom_id,)) or 0
+                )
+                if refs == 0:
+                    self._ex(
+                        "UPDATE atoms SET refs=1, seq="
+                        "(SELECT COALESCE(MAX(seq),0)+1 FROM atoms WHERE graph=?)"
+                        " WHERE id=?",
+                        (self._graph_id, atom_id),
+                    )
+                    self._ex(
+                        "UPDATE graphs SET atoms_live=atoms_live+1 WHERE id=?",
+                        (self._graph_id,),
+                    )
+                else:
+                    self._ex(
+                        "UPDATE atoms SET refs=refs+1 WHERE id=?", (atom_id,)
+                    )
+            self._ex(
+                "UPDATE graphs SET edge_count=edge_count+1 WHERE id=?",
+                (self._graph_id,),
+            )
+            epoch = self._bump()
+            self._journal(epoch, _EDGE_ADD, source, label, stored)
+            return stored
+
+    def _create_atom(self, atom: Atom) -> int:
+        key = (atom.type.value, atom_val(atom))
+        cursor = self._ex(
+            "INSERT INTO atoms(graph,typ,val,str,num,refs,seq)"
+            " VALUES(?,?,?,?,?,0,NULL)",
+            (self._graph_id, key[0], key[1], atom.as_string(), atom_num(atom)),
+        )
+        atom_id = int(cursor.lastrowid)
+        self._id_of_atom[key] = atom_id
+        self._atom_of_id[atom_id] = atom
+        self._install_probes(atom, atom_id)
+        return atom_id
+
+    def _install_probes(self, atom: Atom, atom_id: int) -> None:
+        """Keep ``atom_probes`` closed under the coercion-probe relation.
+
+        Forward: record which of the new atom's probe spellings already
+        exist.  Reverse: existing atoms whose probe list contains the new
+        spelling gain a row too.  Candidates for the reverse pass come
+        from the (num, str) indexes -- a strict superset of the real probe
+        relation -- and are verified in Python against the shared
+        :func:`coercion_probes` definition.
+        """
+        for rank, probe in enumerate(coercion_probes(atom)):
+            probe_id = atom_id if probe == atom else self._atom_id(probe)
+            if probe_id is not None:
+                self._ex(
+                    "INSERT OR IGNORE INTO atom_probes(graph,atom,probe,rank)"
+                    " VALUES(?,?,?,?)",
+                    (self._graph_id, atom_id, probe_id, rank),
+                )
+        number, text = atom_num(atom), atom.as_string()
+        if number is not None:
+            candidates = self._q(
+                "SELECT id, typ, val FROM atoms WHERE graph=? AND id!=?"
+                " AND (num=? OR str=?)",
+                (self._graph_id, atom_id, number, text),
+            )
+        else:
+            candidates = self._q(
+                "SELECT id, typ, val FROM atoms WHERE graph=? AND id!=? AND str=?",
+                (self._graph_id, atom_id, text),
+            )
+        for cand_id, cand_typ, cand_val in candidates:
+            candidate = decode_atom(cand_typ, cand_val)
+            for rank, probe in enumerate(coercion_probes(candidate)):
+                if probe == atom:
+                    self._ex(
+                        "INSERT OR IGNORE INTO atom_probes(graph,atom,probe,rank)"
+                        " VALUES(?,?,?,?)",
+                        (self._graph_id, cand_id, atom_id, rank),
+                    )
+                    break
+
+    def _find_edge(
+        self, source: Oid, label: str, target: object
+    ) -> Optional[Tuple[int, Optional[int]]]:
+        src_id = self._node_id(source)
+        if src_id is None:
+            return None
+        if isinstance(target, Oid):
+            tgt_id = self._node_id(target)
+            if tgt_id is None:
+                return None
+            found = self._s(
+                "SELECT id FROM edges WHERE graph=? AND src=? AND label=?"
+                " AND tgt_node=?",
+                (self._graph_id, src_id, label, tgt_id),
+            )
+            return (int(found), None) if found is not None else None
+        if isinstance(target, Atom):
+            atom_id = self._atom_id(target)
+            if atom_id is None:
+                return None
+            found = self._s(
+                "SELECT id FROM edges WHERE graph=? AND src=? AND label=?"
+                " AND tgt_atom=?",
+                (self._graph_id, src_id, label, atom_id),
+            )
+            return (int(found), atom_id) if found is not None else None
+        return None
+
+    def remove_edge(self, source: Oid, label: str, target: Target) -> None:
+        with self._store.batch():
+            located = self._find_edge(source, label, target)
+            if located is None:
+                raise GraphError(f"no edge {source} -{label}-> {target!r}")
+            edge_id, atom_id = located
+            src_id = self._node_id(source)
+            self._ex("DELETE FROM edges WHERE id=?", (edge_id,))
+            if (
+                self._s(
+                    "SELECT 1 FROM edges WHERE graph=? AND src=? AND label=?"
+                    " LIMIT 1",
+                    (self._graph_id, src_id, label),
+                )
+                is None
+            ):
+                self._ex(
+                    "DELETE FROM egroups WHERE graph=? AND src=? AND label=?",
+                    (self._graph_id, src_id, label),
+                )
+            label_count = int(
+                self._s(
+                    "SELECT count FROM labels WHERE graph=? AND label=?",
+                    (self._graph_id, label),
+                )
+                or 0
+            )
+            if label_count <= 1:
+                self._ex(
+                    "DELETE FROM labels WHERE graph=? AND label=?",
+                    (self._graph_id, label),
+                )
+            else:
+                self._ex(
+                    "UPDATE labels SET count=count-1 WHERE graph=? AND label=?",
+                    (self._graph_id, label),
+                )
+            if atom_id is not None:
+                value_count = self._s(
+                    "SELECT count FROM label_values"
+                    " WHERE graph=? AND label=? AND atom=?",
+                    (self._graph_id, label, atom_id),
+                )
+                if value_count is not None:
+                    if int(value_count) <= 1:
+                        self._ex(
+                            "DELETE FROM label_values"
+                            " WHERE graph=? AND label=? AND atom=?",
+                            (self._graph_id, label, atom_id),
+                        )
+                        self._ex(
+                            "UPDATE labels SET distinct_values=distinct_values-1"
+                            " WHERE graph=? AND label=?",
+                            (self._graph_id, label),
+                        )
+                    else:
+                        self._ex(
+                            "UPDATE label_values SET count=count-1"
+                            " WHERE graph=? AND label=? AND atom=?",
+                            (self._graph_id, label, atom_id),
+                        )
+                refs = int(
+                    self._s("SELECT refs FROM atoms WHERE id=?", (atom_id,)) or 0
+                )
+                if refs <= 1:
+                    self._ex(
+                        "UPDATE atoms SET refs=0, seq=NULL WHERE id=?",
+                        (atom_id,),
+                    )
+                    self._ex(
+                        "UPDATE graphs SET atoms_live=atoms_live-1 WHERE id=?",
+                        (self._graph_id,),
+                    )
+                else:
+                    self._ex(
+                        "UPDATE atoms SET refs=refs-1 WHERE id=?", (atom_id,)
+                    )
+            self._ex(
+                "UPDATE graphs SET edge_count=edge_count-1 WHERE id=?",
+                (self._graph_id,),
+            )
+            epoch = self._bump()
+            self._journal(epoch, _EDGE_REMOVE, source, label, target)
+
+    def has_edge(self, source: Oid, label: str, target: Target) -> bool:
+        return self._find_edge(source, label, target) is not None
+
+    def edges(self) -> Iterator[Tuple[Oid, str, Target]]:
+        rows = self._q(
+            "SELECT sn.name, e.label, e.tgt_node, e.tgt_atom, tn.name,"
+            " ta.typ, ta.val, e.src"
+            " FROM edges e"
+            " JOIN egroups g ON g.graph=e.graph AND g.src=e.src AND g.label=e.label"
+            " JOIN nodes sn ON sn.id=e.src"
+            " LEFT JOIN nodes tn ON tn.id=e.tgt_node"
+            " LEFT JOIN atoms ta ON ta.id=e.tgt_atom"
+            " WHERE e.graph=? ORDER BY e.src, g.seq, e.id",
+            (self._graph_id,),
+        )
+        for sname, label, t_node, t_atom, t_name, a_typ, a_val, src_id in rows:
+            yield (
+                self._oid(src_id, sname),
+                sys.intern(label),
+                self._target(t_node, t_atom, t_name, a_typ, a_val),
+            )
+
+    @property
+    def edge_count(self) -> int:
+        return self._state("edge_count")
+
+    # -------------------------------------------------------------- #
+    # navigation
+
+    def out_edges(self, oid: Oid) -> Iterator[Tuple[str, Target]]:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            raise UnknownObjectError(oid)
+        rows = self._q(
+            "SELECT e.label, e.tgt_node, e.tgt_atom, tn.name, ta.typ, ta.val"
+            " FROM edges e"
+            " JOIN egroups g ON g.graph=e.graph AND g.src=e.src AND g.label=e.label"
+            " LEFT JOIN nodes tn ON tn.id=e.tgt_node"
+            " LEFT JOIN atoms ta ON ta.id=e.tgt_atom"
+            " WHERE e.graph=? AND e.src=? ORDER BY g.seq, e.id",
+            (self._graph_id, node_id),
+        )
+        for label, t_node, t_atom, t_name, a_typ, a_val in rows:
+            yield sys.intern(label), self._target(
+                t_node, t_atom, t_name, a_typ, a_val
+            )
+
+    def labels_of(self, oid: Oid) -> List[str]:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            raise UnknownObjectError(oid)
+        return [
+            sys.intern(label)
+            for (label,) in self._q(
+                "SELECT label FROM egroups WHERE graph=? AND src=? ORDER BY seq",
+                (self._graph_id, node_id),
+            )
+        ]
+
+    def targets(self, oid: Oid, label: str) -> List[Target]:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            raise UnknownObjectError(oid)
+        rows = self._q(
+            "SELECT e.tgt_node, e.tgt_atom, tn.name, ta.typ, ta.val"
+            " FROM edges e"
+            " LEFT JOIN nodes tn ON tn.id=e.tgt_node"
+            " LEFT JOIN atoms ta ON ta.id=e.tgt_atom"
+            " WHERE e.graph=? AND e.src=? AND e.label=? ORDER BY e.id",
+            (self._graph_id, node_id, label),
+        )
+        return [self._target(*row) for row in rows]
+
+    def attribute(self, oid: Oid, label: str) -> Optional[Target]:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            return None
+        rows = self._q(
+            "SELECT e.tgt_node, e.tgt_atom, tn.name, ta.typ, ta.val"
+            " FROM edges e"
+            " LEFT JOIN nodes tn ON tn.id=e.tgt_node"
+            " LEFT JOIN atoms ta ON ta.id=e.tgt_atom"
+            " WHERE e.graph=? AND e.src=? AND e.label=? ORDER BY e.id LIMIT 1",
+            (self._graph_id, node_id, label),
+        )
+        return self._target(*rows[0]) if rows else None
+
+    def in_edges(self, target: Target) -> Iterator[Tuple[Oid, str]]:
+        if isinstance(target, Oid):
+            ref_id = self._node_id(target)
+            column = "tgt_node"
+        elif isinstance(target, Atom):
+            ref_id = self._atom_id(target)
+            column = "tgt_atom"
+        else:
+            return iter(())
+        if ref_id is None:
+            return iter(())
+        rows = self._q(
+            "SELECT n.name, e.label, e.src FROM edges e JOIN nodes n ON n.id=e.src"
+            f" WHERE e.graph=? AND e.{column}=? ORDER BY e.id",
+            (self._graph_id, ref_id),
+        )
+        return iter(
+            [
+                (self._oid(src_id, name), sys.intern(label))
+                for name, label, src_id in rows
+            ]
+        )
+
+    def edges_with_label(self, label: str) -> Iterator[Tuple[Oid, Target]]:
+        rows = self._q(
+            "SELECT sn.name, e.src, e.tgt_node, e.tgt_atom, tn.name,"
+            " ta.typ, ta.val"
+            " FROM edges e JOIN nodes sn ON sn.id=e.src"
+            " LEFT JOIN nodes tn ON tn.id=e.tgt_node"
+            " LEFT JOIN atoms ta ON ta.id=e.tgt_atom"
+            " WHERE e.graph=? AND e.label=? ORDER BY e.id",
+            (self._graph_id, label),
+        )
+        for sname, src_id, t_node, t_atom, t_name, a_typ, a_val in rows:
+            yield self._oid(src_id, sname), self._target(
+                t_node, t_atom, t_name, a_typ, a_val
+            )
+
+    def labels(self) -> List[str]:
+        return [
+            sys.intern(label)
+            for (label,) in self._q(
+                "SELECT label FROM labels WHERE graph=? ORDER BY seq",
+                (self._graph_id,),
+            )
+        ]
+
+    def label_cardinality(self, label: str) -> int:
+        return int(
+            self._s(
+                "SELECT count FROM labels WHERE graph=? AND label=?",
+                (self._graph_id, label),
+            )
+            or 0
+        )
+
+    def label_value_cardinality(self, label: str) -> int:
+        return int(
+            self._s(
+                "SELECT distinct_values FROM labels WHERE graph=? AND label=?",
+                (self._graph_id, label),
+            )
+            or 0
+        )
+
+    def label_atoms(self, label: str) -> Iterator[Tuple[Atom, int]]:
+        rows = self._q(
+            "SELECT lv.atom, a.typ, a.val, lv.count"
+            " FROM label_values lv JOIN atoms a ON a.id=lv.atom"
+            " WHERE lv.graph=? AND lv.label=? ORDER BY lv.seq",
+            (self._graph_id, label),
+        )
+        for atom_id, typ, val, count in rows:
+            yield self._atom(atom_id, typ, val), int(count)
+
+    @property
+    def distinct_atom_count(self) -> int:
+        return self._state("atoms_live")
+
+    def atoms(self) -> Iterator[Atom]:
+        for atom_id, typ, val in self._q(
+            "SELECT id, typ, val FROM atoms WHERE graph=? AND seq IS NOT NULL"
+            " ORDER BY seq",
+            (self._graph_id,),
+        ):
+            yield self._atom(atom_id, typ, val)
+
+    def sources_of_value(self, atom: Atom) -> Iterator[Tuple[Oid, str]]:
+        atom_id = self._atom_id(atom) if isinstance(atom, Atom) else None
+        if atom_id is None:
+            return iter(())
+        rows = self._q(
+            "SELECT n.name, e.label, e.src FROM edges e JOIN nodes n ON n.id=e.src"
+            " WHERE e.graph=? AND e.tgt_atom=? ORDER BY e.id",
+            (self._graph_id, atom_id),
+        )
+        return iter(
+            [
+                (self._oid(src_id, name), sys.intern(label))
+                for name, label, src_id in rows
+            ]
+        )
+
+    def reachable(
+        self,
+        start: Oid,
+        via: Optional[Set[str]] = None,
+        include_atoms: bool = False,
+    ) -> List[Target]:
+        if not self.has_node(start):
+            raise UnknownObjectError(start)
+        seen: Dict[Target, None] = {start: None}
+        queue: List[Oid] = [start]
+        while queue:
+            current = queue.pop(0)
+            for label, target in self.out_edges(current):
+                if via is not None and label not in via:
+                    continue
+                if target in seen:
+                    continue
+                seen[target] = None
+                if isinstance(target, Oid):
+                    queue.append(target)
+        if include_atoms:
+            return list(seen)
+        return [t for t in seen if isinstance(t, Oid)]
+
+    # -------------------------------------------------------------- #
+    # collections
+
+    def create_collection(self, name: str) -> None:
+        with self._store.batch():
+            if (
+                self._s(
+                    "SELECT 1 FROM collections WHERE graph=? AND name=?",
+                    (self._graph_id, name),
+                )
+                is None
+            ):
+                self._ex(
+                    "INSERT INTO collections(graph,name,count) VALUES(?,?,0)",
+                    (self._graph_id, name),
+                )
+                epoch = self._bump()
+                self._journal(epoch, _COLLECTION_CREATE, name)
+
+    def add_to_collection(self, name: str, oid: Oid) -> None:
+        with self._store.batch():
+            node_id = self._node_id(oid)
+            if node_id is None:
+                raise UnknownObjectError(oid)
+            self.create_collection(name)
+            if (
+                self._s(
+                    "SELECT 1 FROM members WHERE graph=? AND collection=?"
+                    " AND node=?",
+                    (self._graph_id, name, node_id),
+                )
+                is None
+            ):
+                self._ex(
+                    "INSERT INTO members(graph,collection,node) VALUES(?,?,?)",
+                    (self._graph_id, name, node_id),
+                )
+                self._ex(
+                    "UPDATE collections SET count=count+1 WHERE graph=? AND name=?",
+                    (self._graph_id, name),
+                )
+                epoch = self._bump()
+                self._journal(epoch, _MEMBER_ADD, name, oid)
+
+    def remove_from_collection(self, name: str, oid: Oid) -> None:
+        with self._store.batch():
+            node_id = self._node_id(oid)
+            present = (
+                None
+                if node_id is None
+                else self._s(
+                    "SELECT 1 FROM members WHERE graph=? AND collection=?"
+                    " AND node=?",
+                    (self._graph_id, name, node_id),
+                )
+            )
+            if present is None:
+                raise GraphError(f"{oid} is not in collection {name!r}")
+            self._ex(
+                "DELETE FROM members WHERE graph=? AND collection=? AND node=?",
+                (self._graph_id, name, node_id),
+            )
+            self._ex(
+                "UPDATE collections SET count=count-1 WHERE graph=? AND name=?",
+                (self._graph_id, name),
+            )
+            epoch = self._bump()
+            self._journal(epoch, _MEMBER_REMOVE, name, oid)
+
+    def collection(self, name: str) -> List[Oid]:
+        return [
+            self._oid(node_id, node_name)
+            for node_name, node_id in self._q(
+                "SELECT n.name, n.id FROM members m JOIN nodes n ON n.id=m.node"
+                " WHERE m.graph=? AND m.collection=? ORDER BY m.id",
+                (self._graph_id, name),
+            )
+        ]
+
+    def has_collection(self, name: str) -> bool:
+        return (
+            self._s(
+                "SELECT 1 FROM collections WHERE graph=? AND name=?",
+                (self._graph_id, name),
+            )
+            is not None
+        )
+
+    def in_collection(self, name: str, oid: Oid) -> bool:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            return False
+        return (
+            self._s(
+                "SELECT 1 FROM members WHERE graph=? AND collection=? AND node=?",
+                (self._graph_id, name, node_id),
+            )
+            is not None
+        )
+
+    def collection_names(self) -> List[str]:
+        return [
+            name
+            for (name,) in self._q(
+                "SELECT name FROM collections WHERE graph=? ORDER BY seq",
+                (self._graph_id,),
+            )
+        ]
+
+    def collections_of(self, oid: Oid) -> List[str]:
+        node_id = self._node_id(oid)
+        if node_id is None:
+            return []
+        return [
+            name
+            for (name,) in self._q(
+                "SELECT c.name FROM collections c JOIN members m"
+                " ON m.graph=c.graph AND m.collection=c.name AND m.node=?"
+                " WHERE c.graph=? ORDER BY c.seq",
+                (node_id, self._graph_id),
+            )
+        ]
+
+    def collection_cardinality(self, name: str) -> int:
+        return int(
+            self._s(
+                "SELECT count FROM collections WHERE graph=? AND name=?",
+                (self._graph_id, name),
+            )
+            or 0
+        )
+
+    # -------------------------------------------------------------- #
+    # whole-graph operations
+
+    def copy(self, name: str = "") -> Graph:
+        """Materialize an in-memory :class:`Graph` copy (same replay the
+        in-memory ``Graph.copy`` performs, so orders agree)."""
+        clone = Graph(name or self.name)
+        for oid in self.nodes():
+            clone.add_node(oid)
+        for source, label, target in self.edges():
+            clone.add_edge(source, label, target)
+        for coll in self.collection_names():
+            clone.create_collection(coll)
+            for member in self.collection(coll):
+                clone.add_to_collection(coll, member)
+        for function, args, _ in self.skolems.terms():
+            clone.skolems.apply(function, args)
+        clone.allocator.reserve_past(self._max_anonymous())
+        return clone
+
+    def merge(self, other, collection_prefix: str = "") -> Dict[Oid, Oid]:
+        with self._store.batch():
+            rename: Dict[Oid, Oid] = {}
+            for oid in other.nodes():
+                if oid.name.startswith("&") and self.has_node(oid):
+                    rename[oid] = self.add_node(hint="m")
+                else:
+                    rename[oid] = self.add_node(oid)
+            for source, label, target in other.edges():
+                new_target: Target = (
+                    rename[target] if isinstance(target, Oid) else target
+                )
+                self.add_edge(rename[source], label, new_target)
+            for coll in other.collection_names():
+                name = collection_prefix + coll
+                self.create_collection(name)
+                for member in other.collection(coll):
+                    self.add_to_collection(name, rename[member])
+            for function, args, _ in other.skolems.terms():
+                mapped = tuple(
+                    rename.get(a, a) if isinstance(a, Oid) else a for a in args
+                )
+                self.skolems.apply(function, mapped)
+            self.allocator.reserve_past(self._max_anonymous())
+            return rename
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": self.node_count,
+            "edges": self.edge_count,
+            "labels": int(
+                self._s(
+                    "SELECT COUNT(*) FROM labels WHERE graph=?",
+                    (self._graph_id,),
+                )
+                or 0
+            ),
+            "collections": int(
+                self._s(
+                    "SELECT COUNT(*) FROM collections WHERE graph=?",
+                    (self._graph_id,),
+                )
+                or 0
+            ),
+            "atoms": self.distinct_atom_count,
+        }
+
+    def _max_anonymous(self) -> int:
+        highest = 0
+        for (name,) in self._q(
+            "SELECT name FROM nodes WHERE graph=? AND name LIKE '&%'",
+            (self._graph_id,),
+        ):
+            tail = name[1:].rsplit(".", 1)[-1]
+            if tail.isdigit():
+                highest = max(highest, int(tail))
+        return highest
+
+    # -------------------------------------------------------------- #
+    # bulk load
+
+    def _bulk_import(self, graph) -> None:
+        """Load a whole graph in one pass with explicit sequential ids.
+
+        Equivalent to replaying ``graph.copy()``: edges are imported in
+        ``edges()`` order, which fixes every derived order (egroups,
+        labels, label_values, atom seq) exactly as the in-memory replay
+        would.  Runs inside the caller's transaction.
+        """
+        gid = self._graph_id
+        store = self._store
+
+        node_base = int(store.scalar("SELECT COALESCE(MAX(id),0) FROM nodes") or 0)
+        node_ids: Dict[Oid, int] = {}
+        node_rows = []
+        for index, oid in enumerate(graph.nodes()):
+            node_ids[oid] = node_base + 1 + index
+            node_rows.append((node_base + 1 + index, gid, oid.name))
+        store.executemany(
+            "INSERT INTO nodes(id,graph,name) VALUES(?,?,?)", node_rows
+        )
+
+        atom_base = int(store.scalar("SELECT COALESCE(MAX(id),0) FROM atoms") or 0)
+        edge_base = int(store.scalar("SELECT COALESCE(MAX(id),0) FROM edges") or 0)
+        atom_ids: Dict[Atom, int] = {}
+        atom_rows = []
+        edge_rows = []
+        egroup_order: Dict[Tuple[int, str], None] = {}
+        label_counts: Dict[str, int] = {}
+        label_value_counts: Dict[Tuple[str, Atom], int] = {}
+        for index, (source, label, target) in enumerate(graph.edges()):
+            src_id = node_ids[source]
+            if isinstance(target, Oid):
+                tgt_node: Optional[int] = node_ids[target]
+                tgt_atom: Optional[int] = None
+            else:
+                tgt_node = None
+                tgt_atom = atom_ids.get(target)
+                if tgt_atom is None:
+                    tgt_atom = atom_base + 1 + len(atom_ids)
+                    atom_ids[target] = tgt_atom
+                    atom_rows.append(
+                        (
+                            tgt_atom,
+                            gid,
+                            target.type.value,
+                            atom_val(target),
+                            target.as_string(),
+                            atom_num(target),
+                            len(atom_ids),  # seq: first-encounter order
+                        )
+                    )
+                key = (label, target)
+                label_value_counts[key] = label_value_counts.get(key, 0) + 1
+            edge_rows.append(
+                (edge_base + 1 + index, gid, src_id, label, tgt_node, tgt_atom)
+            )
+            egroup_order.setdefault((src_id, label), None)
+            label_counts[label] = label_counts.get(label, 0) + 1
+        store.executemany(
+            "INSERT INTO atoms(id,graph,typ,val,str,num,refs,seq)"
+            " VALUES(?,?,?,?,?,?,1,?)",
+            atom_rows,
+        )
+        store.executemany(
+            "INSERT INTO edges(id,graph,src,label,tgt_node,tgt_atom)"
+            " VALUES(?,?,?,?,?,?)",
+            edge_rows,
+        )
+        # refs: exact per-atom incoming-edge counts, now that edges exist
+        store.execute(
+            "UPDATE atoms SET refs="
+            "(SELECT COUNT(*) FROM edges e WHERE e.graph=? AND e.tgt_atom=atoms.id)"
+            " WHERE graph=?",
+            (gid, gid),
+        )
+        store.executemany(
+            "INSERT INTO egroups(graph,src,label) VALUES(?,?,?)",
+            [(gid, src, label) for src, label in egroup_order],
+        )
+        # labels() order is first-edge order = first appearance in the
+        # edges() replay
+        seen_labels: Dict[str, None] = {}
+        for row in edge_rows:
+            seen_labels.setdefault(row[3], None)
+        store.executemany(
+            "INSERT INTO labels(graph,label,count,distinct_values) VALUES(?,?,?,?)",
+            [
+                (
+                    gid,
+                    label,
+                    label_counts[label],
+                    len(
+                        {
+                            atom
+                            for (lbl, atom) in label_value_counts
+                            if lbl == label
+                        }
+                    ),
+                )
+                for label in seen_labels
+            ],
+        )
+        store.executemany(
+            "INSERT INTO label_values(graph,label,atom,count) VALUES(?,?,?,?)",
+            [
+                (gid, label, atom_ids[atom], count)
+                for (label, atom), count in label_value_counts.items()
+            ],
+        )
+        member_rows = []
+        collection_rows = []
+        for coll in graph.collection_names():
+            members = graph.collection(coll)
+            collection_rows.append((gid, coll, len(members)))
+            for member in members:
+                member_rows.append((gid, coll, node_ids[member]))
+        store.executemany(
+            "INSERT INTO collections(graph,name,count) VALUES(?,?,?)",
+            collection_rows,
+        )
+        store.executemany(
+            "INSERT INTO members(graph,collection,node) VALUES(?,?,?)",
+            member_rows,
+        )
+        probe_rows = []
+        for atom, atom_id in atom_ids.items():
+            for rank, probe in enumerate(coercion_probes(atom)):
+                probe_id = atom_ids.get(probe)
+                if probe_id is not None:
+                    probe_rows.append((gid, atom_id, probe_id, rank))
+        store.executemany(
+            "INSERT OR IGNORE INTO atom_probes(graph,atom,probe,rank)"
+            " VALUES(?,?,?,?)",
+            probe_rows,
+        )
+        store.execute(
+            "UPDATE graphs SET node_count=?, edge_count=?, atoms_live=?"
+            " WHERE id=?",
+            (len(node_ids), len(edge_rows), len(atom_ids), gid),
+        )
+        self.skolems = SkolemRegistry()
+        for function, args, _ in graph.skolems.terms():
+            self.skolems.apply(function, args)
+        self.allocator = OidAllocator()
+        self.allocator.reserve_past(self._max_anonymous())
+
+    def __repr__(self) -> str:
+        label = self.name or "graph"
+        return (
+            f"<SqlGraph {label}: {self.node_count} nodes,"
+            f" {self.edge_count} edges>"
+        )
+
+
+# ------------------------------------------------------------------ #
+# the repository
+
+
+class SqlRepository:
+    """The ``Repository`` surface over one SQLite database file.
+
+    Multiple named graphs share the file (a ``graph`` discriminator
+    column on every table).  ``store()`` bulk-loads an in-memory graph
+    transactionally; ``fetch()`` hands out a live :class:`SqlGraph`
+    without materializing anything.  ``directory=None`` keeps the whole
+    store in ``:memory:``, which the tests use.
+    """
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        filename: str = REPOSITORY_FILENAME,
+    ) -> None:
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, filename)
+        else:
+            path = ":memory:"
+        self.store_backend = SqlStore(path)
+        self._graphs: Dict[str, SqlGraph] = {}
+        self._schema_cache: Dict[str, Tuple[int, int, SchemaIndex]] = {}
+
+    # -------------------------------------------------------------- #
+    # basic CRUD
+
+    def store(self, name: str, graph, persist: bool = True) -> None:
+        """Register ``graph`` under ``name``.
+
+        An in-memory graph is bulk-loaded (replacing any previous
+        generation in one transaction -- a crash leaves the old
+        generation intact).  A :class:`SqlGraph` of this store is
+        registered in place; its edits are already durable.  ``persist``
+        is accepted for interface compatibility; SQLite writes are
+        always durable.
+        """
+        if not name:
+            raise RepositoryError("graph name must be non-empty")
+        if isinstance(graph, SqlGraph) and graph._store is self.store_backend:
+            graph.name = name
+            self._graphs[name] = graph
+            return
+        graph.name = name
+        store = self.store_backend
+        target = None
+        try:
+            with store.batch():
+                graph_id = self._ensure_graph_row(name)
+                target = self._graphs.get(name)
+                if target is None:
+                    target = SqlGraph(store, graph_id, name)
+                self._truncate(graph_id)
+                target._reset_caches()
+                target._bulk_import(graph)
+                self._seal_journal(graph_id)
+        except BaseException:
+            # the transaction rolled back; drop any cache entries the
+            # aborted import populated so the survivor reads fresh rows
+            if target is not None:
+                target._reset_caches()
+            raise
+        self._graphs[name] = target
+
+    def fetch(self, name: str) -> SqlGraph:
+        cached = self._graphs.get(name)
+        if cached is not None:
+            return cached
+        graph_id = self._graph_id(name)
+        if graph_id is None:
+            raise RepositoryError(f"no graph named {name!r} in the repository")
+        graph = SqlGraph(self.store_backend, graph_id, name)
+        self._graphs[name] = graph
+        return graph
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs or self._graph_id(name) is not None
+
+    def delete(self, name: str) -> None:
+        known = name in self
+        self._graphs.pop(name, None)
+        graph_id = self._graph_id(name)
+        if graph_id is not None:
+            with self.store_backend.batch():
+                self._truncate(graph_id)
+                self.store_backend.execute(
+                    "DELETE FROM graphs WHERE id=?", (graph_id,)
+                )
+        if not known:
+            raise RepositoryError(f"no graph named {name!r} in the repository")
+
+    def graph_names(self) -> List[str]:
+        names = set(self._graphs)
+        names.update(
+            name
+            for (name,) in self.store_backend.query("SELECT name FROM graphs")
+        )
+        return sorted(names)
+
+    # -------------------------------------------------------------- #
+    # direct materialization (mediator fast path)
+
+    @contextmanager
+    def rebuild(self, name: str) -> Iterator[SqlGraph]:
+        """Transactionally rebuild graph ``name`` in place.
+
+        Yields an empty :class:`SqlGraph` to materialize into (the
+        mediator writes its warehouse directly here, never holding a
+        full in-memory copy).  On exception the transaction rolls back
+        and the previous generation remains untouched; on success the
+        new generation is committed atomically and registered.
+        """
+        if not name:
+            raise RepositoryError("graph name must be non-empty")
+        store = self.store_backend
+        target = None
+        try:
+            with store.batch():
+                graph_id = self._ensure_graph_row(name)
+                target = self._graphs.get(name)
+                if target is None:
+                    target = SqlGraph(store, graph_id, name)
+                self._truncate(graph_id)
+                target._reset_caches()
+                yield target
+                self._seal_journal(graph_id)
+        except BaseException:
+            # the transaction rolled back; drop any cache entries the
+            # aborted build populated so the survivor reads fresh rows
+            if target is not None:
+                target._reset_caches()
+            raise
+        self._graphs[name] = target
+
+    # -------------------------------------------------------------- #
+    # indexes and catalog
+
+    def statistics(self, name: str) -> IndexStatistics:
+        return graph_statistics(self.fetch(name))
+
+    def schema_index(self, name: str) -> SchemaIndex:
+        graph = self.fetch(name)
+        cached = self._schema_cache.get(name)
+        if cached is not None and cached[0] == id(graph):
+            if cached[1] == graph.epoch:
+                return cached[2]
+            delta = graph.delta_since(cached[1])
+            if delta is not None:
+                patched = cached[2].advanced(delta)
+                if patched is not None:
+                    self._schema_cache[name] = (id(graph), graph.epoch, patched)
+                    return patched
+        index = SchemaIndex.from_graph(graph)
+        self._schema_cache[name] = (id(graph), graph.epoch, index)
+        return index
+
+    def catalog(self) -> Dict[str, Dict[str, int]]:
+        return {name: self.fetch(name).stats() for name in self.graph_names()}
+
+    # -------------------------------------------------------------- #
+    # backend reporting / DDL bridge
+
+    def file_size(self) -> int:
+        """Database size in bytes (0 for an in-memory store)."""
+        return self.store_backend.file_size()
+
+    def index_row_counts(self) -> Dict[str, int]:
+        """Row counts of every table, for the `repro stats` report."""
+        return self.store_backend.table_counts()
+
+    def export_ddl(self, name: str, path: str) -> None:
+        """Write one graph out as checksummed DDL (crash-safe via the
+        same shared atomic-write helper the DDL backend uses)."""
+        payload = ddl.with_checksum(ddl.dumps(self.fetch(name).copy()))
+        atomic_write_text(path, payload, f"store.export.{name}")
+
+    # -------------------------------------------------------------- #
+
+    def _graph_id(self, name: str) -> Optional[int]:
+        found = self.store_backend.scalar(
+            "SELECT id FROM graphs WHERE name=?", (name,)
+        )
+        return int(found) if found is not None else None
+
+    def _ensure_graph_row(self, name: str) -> int:
+        graph_id = self._graph_id(name)
+        if graph_id is None:
+            cursor = self.store_backend.execute(
+                "INSERT INTO graphs(name) VALUES(?)", (name,)
+            )
+            graph_id = int(cursor.lastrowid)
+        return graph_id
+
+    def _truncate(self, graph_id: int) -> None:
+        """Clear a graph's rows, bumping its epoch so cached derived
+        state (plans, statistics, pages) observes the generation swap."""
+        for table in _GRAPH_TABLES:
+            self.store_backend.execute(
+                f"DELETE FROM {table} WHERE graph=?", (graph_id,)
+            )
+        self.store_backend.execute(
+            "UPDATE graphs SET node_count=0, edge_count=0, atoms_live=0,"
+            " epoch=epoch+1 WHERE id=?",
+            (graph_id,),
+        )
+
+    def _seal_journal(self, graph_id: int) -> None:
+        """After a wholesale load, pre-load delta snapshots are stale:
+        clear the journal and set the floor so ``delta_since`` answers
+        ``None`` (coarse invalidation) for anything older."""
+        self.store_backend.execute(
+            "DELETE FROM journal WHERE graph=?", (graph_id,)
+        )
+        self.store_backend.execute(
+            "UPDATE graphs SET journal_floor=epoch WHERE id=?", (graph_id,)
+        )
+
+
+def open_repository(directory: Optional[str] = None, backend: str = "ddl"):
+    """Factory over the two storage backends.
+
+    ``backend="ddl"`` returns the checksummed-file
+    :class:`~repro.repository.store.Repository`; ``backend="sqlite"``
+    returns :class:`SqlRepository`.
+    """
+    if backend == "sqlite":
+        return SqlRepository(directory)
+    if backend == "ddl":
+        from .store import Repository
+
+        return Repository(directory)
+    raise RepositoryError(f"unknown repository backend: {backend!r}")

@@ -25,9 +25,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import RepositoryCorruptionError, RepositoryError
 from ..graph import Graph
-from ..resilience.chaos import maybe_fail
 from ..resilience.report import record_recovery_event
 from . import ddl
+from .atomic import atomic_write_text as _atomic_write_text
 from .indexes import IndexStatistics, SchemaIndex, graph_statistics
 
 _GRAPH_SUFFIX = ".ddl"
@@ -197,26 +197,7 @@ class Repository:
 
 
 # ------------------------------------------------------------------ #
-# crash-safe file primitives
-
-
-def _atomic_write_text(path: str, text: str, site: str) -> None:
-    """Write ``text`` to ``path`` via tmp+fsync+rename.
-
-    The ``site``-prefixed chaos hooks mark the three points a crash can
-    land: before the tmp write, after writing but before fsync, and
-    after fsync but before the rename.  At every one of them, ``path``
-    still holds its previous content in full.
-    """
-    maybe_fail(f"{site}.tmp")
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        maybe_fail(f"{site}.flush")
-        handle.flush()
-        os.fsync(handle.fileno())
-    maybe_fail(f"{site}.rename")
-    os.replace(tmp, path)
+# crash-safe file primitives (the shared write half lives in .atomic)
 
 
 def _load_file(path: str, name: str) -> Graph:

@@ -171,8 +171,11 @@ class ResilienceReport:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        # Deferred import: repository.atomic pulls in the repository
+        # package, which itself imports this module for recovery events.
+        from ..repository.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n", "report.save")
 
     @classmethod
     def load(cls, path: str) -> "ResilienceReport":

@@ -56,7 +56,9 @@ from .eval import (
     QueryEngine,
     Value,
     evaluate,
+    make_engine,
     query_bindings,
+    register_engine_factory,
 )
 from .explain import explain
 from .footprint import Footprint, path_alphabet
@@ -73,6 +75,15 @@ from .paths import (
 )
 from .plancache import PlanCache, clear_plan_cache, global_plan_cache
 
+# imported for its side effect too: registers the SQL-pushdown engine
+# factory for SqlGraph sources (must follow the .eval import)
+from .sqlcompile import (
+    DEFAULT_PUSHDOWN_CUTOFF,
+    PushdownReport,
+    SqlQueryEngine,
+    explain_pushdown,
+)
+
 __all__ = [
     "Alternation",
     "AnyLabel",
@@ -83,6 +94,7 @@ __all__ = [
     "Concat",
     "Condition",
     "Const",
+    "DEFAULT_PUSHDOWN_CUTOFF",
     "EdgeCond",
     "Footprint",
     "LabelIs",
@@ -97,10 +109,12 @@ __all__ = [
     "PredicateCond",
     "Program",
     "ProgramBuilder",
+    "PushdownReport",
     "Query",
     "QueryBuilder",
     "QueryEngine",
     "SkolemTerm",
+    "SqlQueryEngine",
     "Star",
     "Value",
     "Var",
@@ -115,9 +129,11 @@ __all__ = [
     "estimate_cost",
     "evaluate",
     "explain",
+    "explain_pushdown",
     "format_query",
     "global_plan_cache",
     "label",
+    "make_engine",
     "order_conditions",
     "parse",
     "path_alphabet",
@@ -128,6 +144,7 @@ __all__ = [
     "parse_query",
     "path_exists",
     "query_bindings",
+    "register_engine_factory",
     "register_label_predicate",
     "register_object_predicate",
     "reverse_expr",

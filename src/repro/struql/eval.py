@@ -32,8 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from dataclasses import fields as dataclass_fields
-from functools import lru_cache
 from typing import (
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -50,7 +50,16 @@ from ..errors import (
     ImmutableNodeError,
     StruqlEvaluationError,
 )
-from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
+from ..graph import (
+    Atom,
+    AtomType,
+    Graph,
+    Oid,
+    Target,
+    atoms_equal,
+    coercion_probes,
+    compare_atoms,
+)
 from ..repository.indexes import IndexStatistics, graph_statistics
 from ..resilience.chaos import maybe_fail
 from . import builtins
@@ -124,6 +133,14 @@ class Metrics:
     path_memo_hits: int = 0
     #: path endpoints that had to run the batched product-automaton search
     path_memo_misses: int = 0
+    #: top-level where-clauses whose plan prefix ran as one SQL SELECT
+    sql_pushdowns: int = 0
+    #: conditions folded into pushed-down SELECTs (across all pushdowns)
+    sql_pushed_conditions: int = 0
+    #: binding rows fetched from pushed-down SELECTs before residual work
+    sql_rows_fetched: int = 0
+    #: SQL-capable evaluations that fell back to the in-memory operators
+    sql_fallbacks: int = 0
 
     def merge(self, other: "Metrics") -> None:
         """Fold another engine's counters into this one.
@@ -193,28 +210,9 @@ def _coercion_probes(value: Value) -> Tuple[Atom, ...]:
     return _atom_coercion_probes(atom)
 
 
-@lru_cache(maxsize=4096)
-def _atom_coercion_probes(atom: Atom) -> Tuple[Atom, ...]:
-    probes: List[Atom] = [atom]
-    number = atom.as_number()
-    if number is not None:
-        as_int = Atom(AtomType.INTEGER, int(number)) if number == int(number) else None
-        candidates = [as_int, Atom(AtomType.FLOAT, float(number))]
-        text = atom.as_string()
-        for atom_type in (AtomType.STRING, AtomType.URL):
-            candidates.append(Atom(atom_type, text))
-        if number == int(number):
-            candidates.append(Atom(AtomType.STRING, str(int(number))))
-        for candidate in candidates:
-            if candidate is not None and candidate not in probes:
-                probes.append(candidate)
-    else:
-        text = atom.as_string()
-        for atom_type in (AtomType.STRING, AtomType.URL, AtomType.TEXT_FILE):
-            candidate = Atom(atom_type, text)
-            if candidate not in probes:
-                probes.append(candidate)
-    return tuple(probes)
+# The probe-spelling computation lives with the value model so the SQL
+# backend can materialize the same probe sets without importing struql.
+_atom_coercion_probes = coercion_probes
 
 
 # ---------------------------------------------------------------------- #
@@ -1602,6 +1600,35 @@ class _Constructor:
 
 
 # ---------------------------------------------------------------------- #
+# engine selection
+
+#: (predicate over graphs, engine class) pairs, latest registration wins.
+_ENGINE_FACTORIES: List[Tuple[Callable[[Graph], bool], Callable[..., QueryEngine]]] = []
+
+
+def register_engine_factory(
+    predicate: Callable[[Graph], bool], factory: Callable[..., QueryEngine]
+) -> None:
+    """Register an engine class for graphs matching ``predicate``.
+
+    :func:`make_engine` consults registrations newest-first, so a backend
+    module can claim its graphs (the SQLite backend registers
+    ``SqlQueryEngine`` for :class:`~repro.repository.sql.SqlGraph`)
+    without this module importing the backend.
+    """
+    _ENGINE_FACTORIES.insert(0, (predicate, factory))
+
+
+def make_engine(graph: Graph, **kwargs: object) -> QueryEngine:
+    """A query engine fit for ``graph``: the first registered factory
+    whose predicate matches, else the in-memory :class:`QueryEngine`."""
+    for predicate, factory in _ENGINE_FACTORIES:
+        if predicate(graph):
+            return factory(graph, **kwargs)
+    return QueryEngine(graph, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
 # public API
 
 
@@ -1634,7 +1661,7 @@ def evaluate(
     result = into if into is not None else Graph()
     shared_metrics = metrics or Metrics()
     if engine is None:
-        engine = QueryEngine(
+        engine = make_engine(
             source,
             optimize=optimize,
             use_indexes=use_indexes,
@@ -1667,7 +1694,7 @@ def query_bindings(
         conditions: Sequence[Condition] = program.queries[0].where
     else:
         conditions = text
-    engine = QueryEngine(
+    engine = make_engine(
         graph, optimize=optimize, use_indexes=use_indexes, use_blocks=use_blocks
     )
     return engine.bindings(conditions)

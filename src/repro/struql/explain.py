@@ -86,10 +86,10 @@ def explain(
     if counts:
         if graph is None:
             raise ValueError("counts=True requires a graph to execute against")
-        from .eval import QueryEngine
+        from .eval import make_engine
         from .plancache import PlanCache
 
-        engine = QueryEngine(
+        engine = make_engine(
             graph, use_indexes=use_indexes, stats=stats, plan_cache=PlanCache()
         )
         engine.bindings(conditions)

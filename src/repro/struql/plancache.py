@@ -52,6 +52,10 @@ PlanKey = Tuple[
 #: A path-memo key: (NFA identity, graph identity, graph epoch, endpoint).
 PathMemoKey = Tuple[int, int, int, object]
 
+#: A compiled-SQL key: (ordered condition identities, frame variable
+#: names, statistics fingerprint, pushdown cost cutoff).
+SqlPlanKey = Tuple[Tuple[int, ...], Tuple[str, ...], Tuple[int, int], float]
+
 
 class PlanCache:
     """An LRU cache of ordered-condition plans, compiled path NFAs, and
@@ -64,6 +68,8 @@ class PlanCache:
         self.misses = 0
         self.path_hits = 0
         self.path_misses = 0
+        self.sql_hits = 0
+        self.sql_misses = 0
         self._lock = Lock()
         # value pins the condition objects the key's ids refer to
         self._plans: "OrderedDict[PlanKey, Tuple[Tuple[Condition, ...], List[Condition]]]" = (
@@ -73,6 +79,11 @@ class PlanCache:
         self._nfas: "OrderedDict[int, Tuple[PathExpr, NFA, NFA]]" = OrderedDict()
         # value pins the NFA the key's id refers to (ABA guard, as above)
         self._path_memo: "OrderedDict[PathMemoKey, Tuple[NFA, Tuple[object, ...]]]" = (
+            OrderedDict()
+        )
+        # value pins the ordered conditions; the payload is the compiled
+        # pushdown plan, or None when compilation declined the prefix
+        self._sql: "OrderedDict[SqlPlanKey, Tuple[Tuple[Condition, ...], object]]" = (
             OrderedDict()
         )
 
@@ -114,6 +125,40 @@ class PlanCache:
             self._plans.move_to_end(key)
             while len(self._plans) > self.max_entries:
                 self._plans.popitem(last=False)
+
+    # ------------------------------------------------------------ #
+    # compiled SQL pushdown plans
+
+    @staticmethod
+    def sql_key(
+        ordered: Sequence[Condition],
+        frame_names: Sequence[str],
+        fingerprint: Tuple[int, int],
+        cutoff: float,
+    ) -> SqlPlanKey:
+        return (tuple(map(id, ordered)), tuple(frame_names), fingerprint, cutoff)
+
+    def get_sql(self, key: SqlPlanKey) -> Optional[Tuple[object]]:
+        """The cached compiled-SQL entry for ``key`` wrapped in a 1-tuple,
+        or None on a miss.  The wrapped payload may itself be None (a
+        cached "this prefix does not push down" verdict)."""
+        with self._lock:
+            entry = self._sql.get(key)
+            if entry is None:
+                self.sql_misses += 1
+                return None
+            self._sql.move_to_end(key)
+            self.sql_hits += 1
+            return (entry[1],)
+
+    def put_sql(
+        self, key: SqlPlanKey, ordered: Sequence[Condition], plan: object
+    ) -> None:
+        with self._lock:
+            self._sql[key] = (tuple(ordered), plan)
+            self._sql.move_to_end(key)
+            while len(self._sql) > self.max_entries:
+                self._sql.popitem(last=False)
 
     # ------------------------------------------------------------ #
     # compiled path NFAs
@@ -175,10 +220,13 @@ class PlanCache:
             self._plans.clear()
             self._nfas.clear()
             self._path_memo.clear()
+            self._sql.clear()
             self.hits = 0
             self.misses = 0
             self.path_hits = 0
             self.path_misses = 0
+            self.sql_hits = 0
+            self.sql_misses = 0
 
     def stats(self) -> Dict[str, int]:
         """Counters for diagnostics (``repro stats`` prints these)."""
@@ -191,6 +239,9 @@ class PlanCache:
                 "path_hits": self.path_hits,
                 "path_misses": self.path_misses,
                 "path_entries": len(self._path_memo),
+                "sql_hits": self.sql_hits,
+                "sql_misses": self.sql_misses,
+                "sql_plans": len(self._sql),
             }
 
 
