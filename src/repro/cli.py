@@ -379,6 +379,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         admission_limit=args.admission_limit,
+        deadline_budget=args.deadline if args.deadline else None,
     )
     server.start()
     mode = "dynamic" if args.dynamic else "static"
@@ -533,7 +534,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if args.resilience:
             report = ResilienceReport.load(args.resilience)
         else:
-            report = ResilienceReport().record_recoveries()
+            report = ResilienceReport().record_recoveries().record_slow_queries()
         print("resilience:")
         for line in report.summary_lines():
             print(f"  {line}")
@@ -655,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads, each with a warm engine")
     serve.add_argument("--admission-limit", type=int, default=64,
                        help="max in-flight connections before shedding 503s")
+    serve.add_argument("--deadline", type=float, default=5.0,
+                       help="per-request evaluation budget in seconds; "
+                            "expired requests get a structured 504 "
+                            "(0 disables deadlines)")
     serve.add_argument("--dynamic", action="store_true",
                        help="render pages at click time instead of "
                             "serving a pre-built generation")

@@ -87,6 +87,8 @@ class ClickMetrics:
     degraded_serves: int = 0
     #: requests answered with a structured error page (no stale copy)
     error_pages: int = 0
+    #: renders cancelled because the request deadline expired (504s)
+    deadline_exceeded: int = 0
 
     def merge(self, other: "ClickMetrics") -> None:
         """Fold another worker's counters into this one.

@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 import html as html_escape
 
-from ..errors import SiteDefinitionError, StrudelError, TemplateResolutionError
+from ..errors import (
+    DeadlineExceeded,
+    SiteDefinitionError,
+    StrudelError,
+    TemplateResolutionError,
+)
 from ..graph import Atom, Graph, Oid
 from ..resilience.chaos import ChaosFault
 from ..struql.ast import Program, Query
@@ -283,6 +288,11 @@ class PageServer(PageRegistry):
             if template is None:
                 raise TemplateResolutionError(f"no template for page object {oid}")
             html = self._renderer.render(template, oid)
+        except DeadlineExceeded:
+            # cancellation is not degradation: no stale fallback, no
+            # error page -- the serving tier maps this to a 504
+            self.dynamic.metrics.deadline_exceeded += 1
+            raise
         except (StrudelError, ChaosFault) as error:
             if strict:
                 raise
@@ -423,6 +433,26 @@ def _error_page(path: str, error: BaseException) -> str:
         "<body>\n"
         "<h1>Page temporarily unavailable</h1>\n"
         f"<p>The page at <code>{safe_path}</code> could not be generated.</p>\n"
+        f"<p><small>{detail}</small></p>\n"
+        "</body></html>\n"
+    )
+
+
+def _deadline_page(path: str, error: BaseException) -> str:
+    """The structured 504 body for a request whose deadline expired.
+
+    Same contract as :func:`_error_page` -- one sanitized line, never a
+    traceback -- but phrased as a timeout so clients know retrying a
+    cheaper request may succeed while this exact one will not.
+    """
+    detail = html_escape.escape(str(error))
+    safe_path = html_escape.escape(path)
+    return (
+        "<html><head><title>Request timed out</title></head>\n"
+        "<body>\n"
+        "<h1>504 Gateway Timeout</h1>\n"
+        f"<p>Generating the page at <code>{safe_path}</code> exceeded "
+        "its time budget and was cancelled.</p>\n"
         f"<p><small>{detail}</small></p>\n"
         "</body></html>\n"
     )

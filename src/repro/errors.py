@@ -195,6 +195,27 @@ class ConstraintViolation(StrudelError):
         self.witness = witness
 
 
+class DeadlineExceeded(StrudelError):
+    """A request-scoped evaluation deadline expired mid-flight.
+
+    Raised cooperatively by the query engine, the regular-path search,
+    template expansion, and the SQL pushdown layer when the ambient
+    :class:`~repro.resilience.deadline.Deadline` runs out.  Carries the
+    budget, the elapsed time at detection, and the site (operator or
+    layer) that noticed, so slow-query reports can say *where* a
+    pathological query was spending its time.
+    """
+
+    def __init__(self, budget: float, elapsed: float, site: str = "") -> None:
+        where = f" in {site}" if site else ""
+        super().__init__(
+            f"deadline of {budget:.3f}s exceeded after {elapsed:.3f}s{where}"
+        )
+        self.budget = budget
+        self.elapsed = elapsed
+        self.site = site
+
+
 class SiteDefinitionError(StrudelError):
     """The site builder was given an inconsistent specification."""
 

@@ -43,7 +43,16 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..errors import GraphError, RepositoryError, UnknownObjectError
+from ..errors import (
+    DeadlineExceeded,
+    GraphError,
+    RepositoryCorruptionError,
+    RepositoryError,
+    UnknownObjectError,
+)
+from ..resilience.chaos import maybe_fail
+from ..resilience.deadline import current_deadline
+from ..resilience.report import record_recovery_event
 from ..graph import (
     Atom,
     AtomType,
@@ -250,6 +259,12 @@ def _decode(text: Optional[str]) -> object:
 # connection wrapper
 
 
+#: VDBE opcodes between progress-handler invocations.  Small enough to
+#: notice an expired deadline within a few milliseconds of CTE work,
+#: large enough that the callback cost is noise.
+_PROGRESS_OPCODES = 4000
+
+
 class SqlStore:
     """One SQLite connection (WAL, explicit transactions) plus a lock.
 
@@ -257,6 +272,14 @@ class SqlStore:
     threads can read one store concurrently; :meth:`batch` groups the
     multi-statement graph mutations into a single transaction (nested
     batches join the outermost one).
+
+    Long statements are cancellable two ways: :meth:`query_named` (the
+    pushdown path -- the only place a single statement can run
+    unboundedly long, e.g. a ``WITH RECURSIVE`` CTE over a cyclic star
+    path) arms a progress handler against the ambient request deadline,
+    and :meth:`interrupt` lets a watchdog abort whatever statement the
+    connection is running from another thread.  Both surface as
+    :class:`~repro.errors.DeadlineExceeded`, never a raw sqlite error.
     """
 
     def __init__(self, path: str = ":memory:") -> None:
@@ -269,12 +292,31 @@ class SqlStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA temp_store=MEMORY")
         self._depth = 0
+        #: statements aborted via interrupt()/progress handler
+        self.interrupts = 0
         with self._lock:
             self._conn.executescript(_SCHEMA)
 
+    def _map_interrupt(self, error: sqlite3.Error, site: str) -> None:
+        """Re-raise an interrupted statement as DeadlineExceeded."""
+        if "interrupt" not in str(error).lower():
+            raise error
+        self.interrupts += 1
+        deadline = current_deadline()
+        if deadline is not None:
+            raise DeadlineExceeded(
+                deadline.budget, deadline.elapsed(), site
+            ) from error
+        # interrupted from outside any deadline scope (watchdog on a
+        # stuck statement): still a structured cancellation
+        raise DeadlineExceeded(0.0, 0.0, site) from error
+
     def execute(self, sql: str, params: Iterable[object] = ()) -> sqlite3.Cursor:
         with self._lock:
-            return self._conn.execute(sql, tuple(params))
+            try:
+                return self._conn.execute(sql, tuple(params))
+            except sqlite3.OperationalError as error:
+                self._map_interrupt(error, "sql.execute")
 
     def executemany(self, sql: str, rows: Iterable[Tuple]) -> None:
         with self._lock:
@@ -282,15 +324,55 @@ class SqlStore:
 
     def query(self, sql: str, params: Iterable[object] = ()) -> List[Tuple]:
         with self._lock:
-            return self._conn.execute(sql, tuple(params)).fetchall()
+            try:
+                return self._conn.execute(sql, tuple(params)).fetchall()
+            except sqlite3.OperationalError as error:
+                self._map_interrupt(error, "sql.query")
 
     def query_named(self, sql: str, params: Dict[str, object]) -> List[Tuple]:
         with self._lock:
-            return self._conn.execute(sql, params).fetchall()
+            deadline = current_deadline()
+            if deadline is None:
+                try:
+                    return self._conn.execute(sql, params).fetchall()
+                except sqlite3.OperationalError as error:
+                    self._map_interrupt(error, "sql.pushdown")
+            # progress handler returning nonzero aborts the statement
+            # with OperationalError("interrupted"); the callback must
+            # not raise through the C layer, so it only reads the clock
+            self._conn.set_progress_handler(
+                lambda: 1 if deadline.expired() else 0, _PROGRESS_OPCODES
+            )
+            try:
+                return self._conn.execute(sql, params).fetchall()
+            except sqlite3.OperationalError as error:
+                self._map_interrupt(error, "sql.pushdown")
+            finally:
+                self._conn.set_progress_handler(None, 0)
+
+    def interrupt(self) -> None:
+        """Abort the statement currently running on this connection.
+
+        Deliberately does NOT take the store lock: the caller (the
+        watchdog) is trying to break a statement that is *holding* it.
+        ``sqlite3.Connection.interrupt`` is documented safe to call
+        from another thread.
+        """
+        self._conn.interrupt()
 
     def scalar(self, sql: str, params: Iterable[object] = ()) -> Optional[object]:
         rows = self.query(sql, params)
         return rows[0][0] if rows else None
+
+    def integrity_check(self, quick: bool = True) -> List[str]:
+        """Corruption findings (``[]`` means the database is sound)."""
+        pragma = "quick_check" if quick else "integrity_check"
+        try:
+            rows = self.query(f"PRAGMA {pragma}")
+        except sqlite3.DatabaseError as error:
+            return [str(error)]
+        findings = [str(row[0]) for row in rows]
+        return [] if findings == ["ok"] else findings
 
     @contextmanager
     def batch(self) -> Iterator[None]:
@@ -309,7 +391,18 @@ class SqlStore:
             else:
                 self._depth -= 1
                 if self._depth == 0:
+                    # fault sites for the chaos harness: a crash before
+                    # COMMIT must leave the previous generation intact
+                    # (so the transaction is rolled back, not leaked);
+                    # a crash after (the "fsync window") leaves the new
+                    # generation fully committed
+                    try:
+                        maybe_fail("sql.commit")
+                    except BaseException:
+                        self._conn.execute("ROLLBACK")
+                        raise
                     self._conn.execute("COMMIT")
+                    maybe_fail("sql.fsync")
 
     def file_size(self) -> int:
         """Bytes on disk (main database + WAL), 0 for :memory:."""
@@ -1531,6 +1624,11 @@ class SqlGraph:
 # the repository
 
 
+#: Checksummed DDL snapshots written next to the database file; the
+#: recovery source when the database itself fails its integrity check.
+SNAPSHOT_SUFFIX = ".ddl"
+
+
 class SqlRepository:
     """The ``Repository`` surface over one SQLite database file.
 
@@ -1539,6 +1637,14 @@ class SqlRepository:
     transactionally; ``fetch()`` hands out a live :class:`SqlGraph`
     without materializing anything.  ``directory=None`` keeps the whole
     store in ``:memory:``, which the tests use.
+
+    Directory-backed repositories carry a crash-recovery path: every
+    successful bulk load writes a checksummed DDL snapshot next to the
+    database, ``PRAGMA integrity_check`` runs on open, and a corrupt
+    database (torn write, bit flip) is moved aside and rebuilt from the
+    snapshots -- surfaced as recovery events.  Journaled edits made
+    *after* the last snapshot live inside the database file, so they
+    are lost with it; the recovery event says so.
     """
 
     backend = "sqlite"
@@ -1547,16 +1653,114 @@ class SqlRepository:
         self,
         directory: Optional[str] = None,
         filename: str = REPOSITORY_FILENAME,
+        auto_snapshot: bool = True,
     ) -> None:
         self.directory = directory
+        self.auto_snapshot = auto_snapshot
+        #: times a corrupt database was detected and rebuilt on open
+        self.integrity_recoveries = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             path = os.path.join(directory, filename)
         else:
             path = ":memory:"
-        self.store_backend = SqlStore(path)
+        self._path = path
+        recovered = False
+        if path == ":memory:":
+            self.store_backend = SqlStore(path)
+        else:
+            self.store_backend, recovered = self._open_checked(path)
         self._graphs: Dict[str, SqlGraph] = {}
         self._schema_cache: Dict[str, Tuple[int, int, SchemaIndex]] = {}
+        if recovered:
+            self._restore_snapshots()
+
+    # -------------------------------------------------------------- #
+    # integrity check + recovery on open
+
+    def _open_checked(self, path: str) -> Tuple[SqlStore, bool]:
+        """Open the database file, verifying integrity first.
+
+        A database that fails ``PRAGMA quick_check`` (or is so corrupt
+        the schema bootstrap itself errors) is moved aside to
+        ``<file>.corrupt`` and replaced with a fresh store; the caller
+        then reloads the DDL snapshots.  Returns (store, recovered?).
+        """
+        findings: List[str] = []
+        store: Optional[SqlStore] = None
+        if os.path.exists(path):
+            try:
+                store = SqlStore(path)
+                findings = store.integrity_check()
+            except sqlite3.DatabaseError as error:
+                findings = [str(error)]
+        else:
+            return SqlStore(path), False
+        if not findings:
+            assert store is not None
+            return store, False
+        if store is not None:
+            try:
+                store.close()
+            except sqlite3.Error:
+                pass
+        corrupt = path + ".corrupt"
+        if os.path.exists(corrupt):
+            os.remove(corrupt)
+        os.replace(path, corrupt)
+        for suffix in ("-wal", "-shm"):
+            sidecar = path + suffix
+            if os.path.exists(sidecar):
+                os.remove(sidecar)
+        self.integrity_recoveries += 1
+        record_recovery_event(
+            "sql-repository",
+            f"integrity check failed ({findings[0]}); database moved to "
+            f"{os.path.basename(corrupt)}, rebuilding from DDL snapshots "
+            "(journaled edits after the last snapshot are lost)",
+        )
+        return SqlStore(path), True
+
+    def _snapshot_path(self, name: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, name + SNAPSHOT_SUFFIX)
+
+    def _write_snapshot(self, name: str) -> None:
+        """Checksummed DDL snapshot of one graph, next to the database."""
+        if self.directory is None or not self.auto_snapshot:
+            return
+        maybe_fail("sql.snapshot")
+        self.export_ddl(name, self._snapshot_path(name))
+
+    def _restore_snapshots(self) -> None:
+        """Reload every readable snapshot into the fresh database."""
+        assert self.directory is not None
+        for entry in sorted(os.listdir(self.directory)):
+            if not entry.endswith(SNAPSHOT_SUFFIX):
+                continue
+            name = entry[: -len(SNAPSHOT_SUFFIX)]
+            snapshot = os.path.join(self.directory, entry)
+            try:
+                with open(snapshot, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+                declared, body = ddl.split_checksum(text)
+                if declared is not None and declared != ddl.checksum(body):
+                    record_recovery_event(
+                        "sql-repository",
+                        f"snapshot {entry} failed its checksum; not restored",
+                    )
+                    continue
+                graph = ddl.loads(body, name=name)
+            except (OSError, RepositoryError) as error:
+                record_recovery_event(
+                    "sql-repository",
+                    f"snapshot {entry} unreadable ({error}); not restored",
+                )
+                continue
+            self.store(name, graph)
+            record_recovery_event(
+                "sql-repository", f"graph {name!r} restored from snapshot {entry}"
+            )
 
     # -------------------------------------------------------------- #
     # basic CRUD
@@ -1597,6 +1801,7 @@ class SqlRepository:
                 target._reset_caches()
             raise
         self._graphs[name] = target
+        self._write_snapshot(name)
 
     def fetch(self, name: str) -> SqlGraph:
         cached = self._graphs.get(name)
@@ -1622,6 +1827,10 @@ class SqlRepository:
                 self.store_backend.execute(
                     "DELETE FROM graphs WHERE id=?", (graph_id,)
                 )
+        if self.directory is not None:
+            snapshot = self._snapshot_path(name)
+            if os.path.exists(snapshot):
+                os.remove(snapshot)
         if not known:
             raise RepositoryError(f"no graph named {name!r} in the repository")
 
@@ -1667,6 +1876,7 @@ class SqlRepository:
                 target._reset_caches()
             raise
         self._graphs[name] = target
+        self._write_snapshot(name)
 
     # -------------------------------------------------------------- #
     # indexes and catalog

@@ -11,6 +11,8 @@ down.  This package makes every stage degrade instead of die:
   per-source circuit breakers (injectable clock);
 * :mod:`~repro.resilience.chaos` -- a seeded fault-injection harness
   the chaos tests use to prove the guarantees;
+* :mod:`~repro.resilience.deadline` -- request-scoped deadlines with
+  cooperative cancellation through every evaluation layer;
 * :mod:`~repro.resilience.report` -- the aggregated resilience ledger
   (`repro stats --resilience`);
 * :mod:`~repro.resilience.policy` -- the bundle the mediator threads
@@ -19,13 +21,24 @@ down.  This package makes every stage degrade instead of die:
 
 from . import chaos
 from .chaos import ChaosFault, FaultPlan
+from .deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    install_deadline,
+)
 from .policy import ResiliencePolicy
 from .quarantine import QuarantinedRecord, QuarantineReport, WrapPolicy
 from .report import (
     ResilienceReport,
     record_recovery_event,
+    record_slow_query,
     recovery_events,
     reset_recovery_events,
+    reset_slow_queries,
+    slow_queries,
 )
 from .retry import (
     BreakerState,
@@ -41,6 +54,8 @@ __all__ = [
     "ChaosFault",
     "CircuitBreaker",
     "Clock",
+    "Deadline",
+    "DeadlineExceeded",
     "FaultPlan",
     "ManualClock",
     "QuarantinedRecord",
@@ -51,7 +66,14 @@ __all__ = [
     "SystemClock",
     "WrapPolicy",
     "chaos",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "install_deadline",
     "record_recovery_event",
+    "record_slow_query",
     "recovery_events",
     "reset_recovery_events",
+    "reset_slow_queries",
+    "slow_queries",
 ]

@@ -174,3 +174,31 @@ def maybe_fail(site: str) -> None:
     """Fault point: no-op without a plan, else let the plan decide."""
     if _ACTIVE is not None:
         _ACTIVE.check(site)
+
+
+# ------------------------------------------------------------------ #
+# physical corruption
+
+def flip_bit(path: str, offset: Optional[int] = None, bit: int = 0, seed: int = 0) -> int:
+    """Flip one bit of a file in place -- simulated media corruption.
+
+    The SQLite chaos scenarios use this against the repository database
+    file to prove the integrity-check-on-open recovery path.  Returns
+    the byte offset that was corrupted.  ``offset=None`` picks one
+    deterministically from ``seed``; the file header (first 100 bytes,
+    the SQLite header) is avoided so the damage lands in page data,
+    which ``PRAGMA quick_check`` must detect rather than "file is not a
+    database".
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file: {path!r}")
+    if offset is None:
+        lo = min(100, size - 1)
+        offset = random.Random(seed).randrange(lo, size)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ (1 << (bit & 7))]))
+    return offset

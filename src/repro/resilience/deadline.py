@@ -1,0 +1,142 @@
+"""Request-scoped deadlines with cooperative cancellation.
+
+``request_timeout`` on the HTTP tier only bounds *socket* I/O -- a
+pathological STRUQL query (a cyclic regular path, a cartesian product)
+pins a worker forever because nothing inside evaluation ever looks at a
+clock.  This module gives every layer a cheap way to do exactly that:
+
+* :class:`Deadline` -- a monotonic-clock budget stamped at admission.
+  ``tick()`` is designed to sit inside hot row loops: it counts calls
+  and only reads the clock every ``stride`` ticks, so the common case
+  is one integer increment and a compare.  When the budget is gone it
+  raises :class:`~repro.errors.DeadlineExceeded`.
+* an *ambient* thread-local slot -- the serving worker installs the
+  request's deadline with :func:`deadline_scope`; the query engine,
+  the path search, template expansion, and the SQL layer pick it up
+  with :func:`current_deadline` without any signature changes through
+  the stack.
+* :func:`check_deadline` -- the coarse form for layer boundaries
+  ("about to evaluate a condition"), always reads the clock.
+
+Layers never poll the wall clock directly; everything goes through the
+deadline so tests can use far-future or already-expired budgets
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterator, Optional
+
+from contextlib import contextmanager
+
+from ..errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "install_deadline",
+]
+
+# How many tick() calls pass between clock reads.  2**10 keeps the
+# per-row cost to an increment + mask in the block operators while
+# still noticing expiry within a few thousand rows.
+DEFAULT_STRIDE = 1024
+
+
+class Deadline:
+    """A monotonic-clock evaluation budget.
+
+    ``Deadline(0.25)`` expires 250ms after construction.  ``tick()``
+    is the hot-loop form (strided clock reads); ``check()`` always
+    reads the clock; ``expired()`` reads the clock and reports without
+    raising (the form the sqlite progress handler needs -- raising
+    through the sqlite3 C layer is undefined behaviour).
+    """
+
+    __slots__ = ("budget", "started_at", "expires_at", "_ticks", "_stride", "_clock")
+
+    def __init__(
+        self,
+        budget: float,
+        *,
+        stride: int = DEFAULT_STRIDE,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget!r}")
+        self.budget = float(budget)
+        self._clock = clock or time.monotonic
+        self.started_at = self._clock()
+        self.expires_at = self.started_at + self.budget
+        self._ticks = 0
+        # store the mask, not the stride, so tick() is one AND
+        if stride & (stride - 1):
+            raise ValueError(f"stride must be a power of two, got {stride!r}")
+        self._stride = stride - 1
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started_at
+
+    def remaining(self) -> float:
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        """Clock-reading, non-raising check (safe inside C callbacks)."""
+        return self._clock() >= self.expires_at
+
+    def check(self, site: str = "") -> None:
+        """Read the clock; raise :class:`DeadlineExceeded` if over budget."""
+        now = self._clock()
+        if now >= self.expires_at:
+            raise DeadlineExceeded(self.budget, now - self.started_at, site)
+
+    def tick(self, site: str = "") -> None:
+        """Hot-loop check: one increment + mask, clock every ``stride`` calls."""
+        self._ticks += 1
+        if not (self._ticks & self._stride):
+            self.check(site)
+
+
+# ---------------------------------------------------------------------------
+# Ambient (thread-local) deadline
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed on this thread, or ``None``."""
+    return getattr(_LOCAL, "deadline", None)
+
+
+def install_deadline(deadline: Optional[Deadline]) -> Optional[Deadline]:
+    """Install ``deadline`` as this thread's ambient deadline.
+
+    Returns the previously installed deadline (for manual restore).
+    Prefer :func:`deadline_scope` unless the enter/exit points live in
+    different methods (the keep-alive handler re-arms per request).
+    """
+    previous = getattr(_LOCAL, "deadline", None)
+    _LOCAL.deadline = deadline
+    return previous
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Scoped install: the ambient deadline for the ``with`` body."""
+    previous = install_deadline(deadline)
+    try:
+        yield deadline
+    finally:
+        install_deadline(previous)
+
+
+def check_deadline(site: str = "") -> None:
+    """Coarse boundary check against the ambient deadline, if any."""
+    deadline = getattr(_LOCAL, "deadline", None)
+    if deadline is not None:
+        deadline.check(site)

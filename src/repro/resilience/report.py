@@ -37,6 +37,46 @@ def reset_recovery_events() -> None:
     _RECOVERY_EVENTS.clear()
 
 
+# Slow-query reports live in the same kind of process-wide log: the
+# watchdog and the serving tier record them from worker threads, far
+# from whichever ResilienceReport eventually collects them.  Bounded so
+# a pathological client cannot grow the ledger without limit.
+_SLOW_QUERIES: List[Dict[str, object]] = []
+_SLOW_QUERY_CAP = 256
+
+
+def record_slow_query(
+    path: str,
+    elapsed: float,
+    budget: float,
+    *,
+    site: str = "",
+    operator_stats: object = None,
+    kind: str = "deadline",
+) -> Dict[str, object]:
+    """Log one slow/cancelled query (watchdog flag or deadline expiry)."""
+    report: Dict[str, object] = {
+        "path": path,
+        "elapsed": round(float(elapsed), 4),
+        "budget": round(float(budget), 4),
+        "site": site,
+        "kind": kind,
+    }
+    if operator_stats:
+        report["operator_stats"] = operator_stats
+    if len(_SLOW_QUERIES) < _SLOW_QUERY_CAP:
+        _SLOW_QUERIES.append(report)
+    return report
+
+
+def slow_queries() -> List[Dict[str, object]]:
+    return list(_SLOW_QUERIES)
+
+
+def reset_slow_queries() -> None:
+    _SLOW_QUERIES.clear()
+
+
 @dataclass
 class ResilienceReport:
     """One pipeline run's degradations, quarantines, and recoveries."""
@@ -53,6 +93,8 @@ class ResilienceReport:
     retries: Dict[str, int] = field(default_factory=dict)
     #: repository recoveries (corrupt generation restored from backup)
     recovery_events: List[Dict[str, str]] = field(default_factory=list)
+    #: slow/cancelled queries (deadline expiries, watchdog flags)
+    slow_queries: List[Dict[str, object]] = field(default_factory=list)
     #: page-server degradations (stale page / error page served)
     degradations: List[Dict[str, str]] = field(default_factory=list)
     #: data-constraint enforcement accounting from the mediation
@@ -95,6 +137,15 @@ class ResilienceReport:
         """Fold recovery events (default: the process-wide log)."""
         self.recovery_events.extend(
             events if events is not None else recovery_events()
+        )
+        return self
+
+    def record_slow_queries(
+        self, reports: Optional[List[Dict[str, object]]] = None
+    ) -> "ResilienceReport":
+        """Fold slow-query reports (default: the process-wide ledger)."""
+        self.slow_queries.extend(
+            reports if reports is not None else slow_queries()
         )
         return self
 
@@ -143,6 +194,12 @@ class ResilienceReport:
         for event in self.recovery_events:
             lines.append(f"  {event.get('subject')}: {event.get('detail')}")
         lines.append(f"degraded serves: {len(self.degradations)}")
+        lines.append(f"slow queries: {len(self.slow_queries)}")
+        for report in self.slow_queries[:10]:
+            lines.append(
+                f"  {report.get('path')}: {report.get('kind')} "
+                f"elapsed={report.get('elapsed')}s budget={report.get('budget')}s"
+            )
         if self.constraints:
             lines.append(
                 "constraints: "
@@ -163,6 +220,7 @@ class ResilienceReport:
             "skipped_sources": list(self.skipped_sources),
             "retries": self.retries,
             "recovery_events": list(self.recovery_events),
+            "slow_queries": list(self.slow_queries),
             "degradations": list(self.degradations),
             "constraints": dict(self.constraints),
         }
@@ -190,6 +248,7 @@ class ResilienceReport:
         report.skipped_sources = list(raw.get("skipped_sources", []))
         report.retries = dict(raw.get("retries", {}))
         report.recovery_events = list(raw.get("recovery_events", []))
+        report.slow_queries = list(raw.get("slow_queries", []))
         report.degradations = list(raw.get("degradations", []))
         report.constraints = dict(raw.get("constraints", {}))
         return report

@@ -10,6 +10,7 @@ produces the same delay sequence every run.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -121,8 +122,17 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures open the circuit; while
     open, :meth:`allow` is False (the mediator skips the source without
-    even trying).  After ``reset_timeout`` seconds one probe call is
-    allowed (half-open); its outcome closes or re-opens the circuit.
+    even trying).  After ``reset_timeout`` seconds exactly *one* probe
+    call is allowed (half-open); its outcome closes or re-opens the
+    circuit.
+
+    All transitions happen under one lock, so the breaker is safe to
+    share across serving threads -- in particular, when the reset
+    timeout elapses and many callers race into :meth:`allow`, only the
+    first is admitted as the half-open probe; the rest stay rejected
+    until the probe reports back.  (The old unlocked version admitted
+    *every* concurrent caller during half-open, which is a thundering
+    herd aimed at a source that just proved itself broken.)
     """
 
     def __init__(
@@ -142,34 +152,47 @@ class CircuitBreaker:
         #: lifetime counters for reports
         self.total_failures = 0
         self.times_opened = 0
+        self._lock = threading.Lock()
+        self._probe_in_flight = False
 
     def allow(self) -> bool:
         """May the protected call proceed right now?"""
-        if self.state is BreakerState.CLOSED:
-            return True
-        if self.state is BreakerState.OPEN:
-            assert self.opened_at is not None
-            if self.clock.now() - self.opened_at >= self.reset_timeout:
-                self.state = BreakerState.HALF_OPEN
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
                 return True
-            return False
-        return True  # half-open: probe in flight, allow it
+            if self.state is BreakerState.OPEN:
+                assert self.opened_at is not None
+                if self.clock.now() - self.opened_at >= self.reset_timeout:
+                    self.state = BreakerState.HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # half-open: admit exactly one probe at a time
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
 
     def record_success(self) -> None:
-        self.state = BreakerState.CLOSED
-        self.failures = 0
-        self.opened_at = None
+        with self._lock:
+            self.state = BreakerState.CLOSED
+            self.failures = 0
+            self.opened_at = None
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
-        self.total_failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            self._open()
-            return
-        self.failures += 1
-        if self.failures >= self.failure_threshold:
-            self._open()
+        with self._lock:
+            self.total_failures += 1
+            self._probe_in_flight = False
+            if self.state is BreakerState.HALF_OPEN:
+                self._open()
+                return
+            self.failures += 1
+            if self.failures >= self.failure_threshold:
+                self._open()
 
     def _open(self) -> None:
+        # caller holds self._lock
         self.state = BreakerState.OPEN
         self.opened_at = self.clock.now()
         self.times_opened += 1

@@ -18,6 +18,10 @@ closes the network gap between the two: a threaded stdlib HTTP server
 * admission control (:class:`AdmissionControl`) shedding overload with
   proper 503 semantics, and the resilience layer's circuit breaker and
   last-known-good behavior surfaced as degradation headers;
+* request deadlines stamped at admission and enforced cooperatively by
+  every evaluation layer (structured 504s, never a hung worker), with a
+  :class:`Watchdog` thread as the backstop for requests a deadline
+  failed to free, plus ``/healthz`` / ``/readyz`` probes;
 * a Zipf-session traffic generator (:mod:`repro.serve.traffic`) for the
   latency-percentile benchmarks (``BENCH_SERVE.json``).
 """
@@ -29,6 +33,7 @@ from .http import PooledHTTPServer, SiteServer
 from .locks import RWLock
 from .refresher import EditTicket, Refresher
 from .traffic import LoadSummary, run_load, stepped_load
+from .watchdog import Watchdog
 
 __all__ = [
     "AdmissionControl",
@@ -42,6 +47,7 @@ __all__ = [
     "RWLock",
     "ServeCore",
     "SiteServer",
+    "Watchdog",
     "run_load",
     "stepped_load",
 ]

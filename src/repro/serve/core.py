@@ -28,14 +28,18 @@ call ``handle``.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.regen import RegeneratingSite
 from ..core.schema import SiteSchema
-from ..core.server import PageServer
+from ..core.server import PageServer, _deadline_page
+from ..errors import DeadlineExceeded
 from ..graph import Graph
 from ..resilience.chaos import maybe_fail
+from ..resilience.deadline import current_deadline
+from ..resilience.report import record_slow_query
 from ..struql.ast import Program, Query
 from ..struql.parser import parse
 from ..template import TemplateSet
@@ -58,6 +62,7 @@ class WorkerMetrics:
     dynamic_renders: int = 0
     not_found: int = 0
     degraded: int = 0
+    deadline_exceeded: int = 0
 
     def merge(self, other: "WorkerMetrics") -> None:
         for spec in fields(self):
@@ -67,13 +72,23 @@ class WorkerMetrics:
 
 
 class _WorkerSlot:
-    """One pool worker's warm state: engine + private metrics."""
+    """One pool worker's warm state: engine + private metrics.
 
-    __slots__ = ("engine", "metrics")
+    The ``inflight_*`` fields are the watchdog's window into the
+    worker: the owning thread writes them (path + monotonic start +
+    deadline) on request entry and clears the path on exit; the
+    watchdog thread only reads.  Torn reads are harmless -- the
+    watchdog re-checks on its next scan.
+    """
+
+    __slots__ = ("engine", "metrics", "inflight_path", "inflight_since", "inflight_deadline")
 
     def __init__(self) -> None:
         self.engine: Optional[PageServer] = None
         self.metrics = WorkerMetrics()
+        self.inflight_path: Optional[str] = None
+        self.inflight_since: float = 0.0
+        self.inflight_deadline = None
 
 
 def _not_found_entry(path: str) -> PageEntry:
@@ -127,6 +142,8 @@ class ServeCore:
         self._gen_counter = 0
         self._slots: Dict[int, _WorkerSlot] = {}
         self._slots_lock = threading.Lock()
+        #: (checked_at, verdict) of the last db integrity probe
+        self._integrity_cache: Optional[tuple] = None
         #: a failed refresh poisons the warm backend; heal via rebuild
         self._needs_rebuild = False
         self.refreshes_applied = 0
@@ -161,7 +178,9 @@ class ServeCore:
 
         Static mode is lock-free: one generation read, one dict lookup.
         Dynamic mode renders misses under the read lock so a render can
-        never interleave with a mutation.
+        never interleave with a mutation.  A render cancelled by the
+        request deadline becomes a structured 504 entry (never cached,
+        never a traceback) and a slow-query report.
         """
         slot = self._slot(worker_id)
         slot.metrics.requests += 1
@@ -176,31 +195,74 @@ class ServeCore:
             if generation.stale:
                 slot.metrics.degraded += 1
             return entry, generation
-        with self.swap_lock.read_locked():
-            # re-read under the lock: a publish cannot now intervene, so
-            # the generation and the graph state agree for this render
-            generation = self.cache.current()
-            entry = generation.lookup(path)
-            if entry is not None:
-                slot.metrics.cache_hits += 1
+        slot.inflight_since = time.monotonic()
+        slot.inflight_deadline = current_deadline()
+        slot.inflight_path = path
+        try:
+            with self.swap_lock.read_locked():
+                # re-read under the lock: a publish cannot now intervene, so
+                # the generation and the graph state agree for this render
+                generation = self.cache.current()
+                entry = generation.lookup(path)
+                if entry is not None:
+                    slot.metrics.cache_hits += 1
+                    return entry, generation
+                slot.metrics.cache_misses += 1
+                try:
+                    # engine warm-up runs the site's root queries, so it
+                    # must be inside the deadline guard too: a worker's
+                    # first request on an adversarial site can blow the
+                    # budget before the render even starts
+                    engine = self._engine(slot)
+                    engine.refresh()
+                    response = engine.get_response(path)
+                except DeadlineExceeded as error:
+                    return self._deadline_entry(slot, path, error), generation
+                entry = PageEntry(
+                    response.status, response.body.encode("utf-8"), response.kind
+                )
+                slot.metrics.dynamic_renders += 1
+                if response.kind != "ok":
+                    if response.kind != "not-found":
+                        slot.metrics.degraded += 1
+                    else:
+                        slot.metrics.not_found += 1
+                if entry.status == 200 and entry.kind == "ok":
+                    if self.cache.current() is generation:
+                        generation.fill(path, entry)
                 return entry, generation
-            slot.metrics.cache_misses += 1
-            engine = self._engine(slot)
-            engine.refresh()
-            response = engine.get_response(path)
-            entry = PageEntry(
-                response.status, response.body.encode("utf-8"), response.kind
-            )
-            slot.metrics.dynamic_renders += 1
-            if response.kind != "ok":
-                if response.kind != "not-found":
-                    slot.metrics.degraded += 1
-                else:
-                    slot.metrics.not_found += 1
-            if entry.status == 200 and entry.kind == "ok":
-                if self.cache.current() is generation:
-                    generation.fill(path, entry)
-            return entry, generation
+        finally:
+            slot.inflight_path = None
+
+    def _deadline_entry(
+        self, slot: "_WorkerSlot", path: str, error: DeadlineExceeded
+    ) -> PageEntry:
+        """Map a cancelled render to a 504 entry + a slow-query report."""
+        slot.metrics.deadline_exceeded += 1
+        operator_stats = None
+        engine = slot.engine
+        if engine is not None:
+            ops = getattr(engine.dynamic._engine, "last_operator_stats", None)
+            if ops:
+                operator_stats = [
+                    {
+                        "condition": op.condition,
+                        "rows_in": op.rows_in,
+                        "rows_out": op.rows_out,
+                    }
+                    for op in ops
+                ]
+        record_slow_query(
+            path,
+            error.elapsed,
+            error.budget,
+            site=error.site,
+            operator_stats=operator_stats,
+            kind="deadline",
+        )
+        return PageEntry(
+            504, _deadline_page(path, error).encode("utf-8"), "deadline"
+        )
 
     def known_paths(self) -> List[str]:
         """The paths the current generation can serve from cache (in
@@ -344,6 +406,7 @@ class ServeCore:
             "dynamic_renders": merged.dynamic_renders,
             "not_found": merged.not_found,
             "degraded": merged.degraded,
+            "deadline_exceeded": merged.deadline_exceeded,
             "refreshes_applied": self.refreshes_applied,
             "refreshes_failed": self.refreshes_failed,
             "rebuilds": self.rebuilds,
@@ -366,5 +429,60 @@ class ServeCore:
                     "cache_hits": click.cache_hits,
                     "degraded_serves": click.degraded_serves,
                     "error_pages": click.error_pages,
+                    "deadline_exceeded": click.deadline_exceeded,
                 }
+        store = self.sql_store()
+        if store is not None:
+            out["sql_interrupts"] = store.interrupts
+        return out
+
+    # ------------------------------------------------------------ #
+    # health surface
+
+    def sql_store(self):
+        """The backing :class:`~repro.repository.sql.SqlStore` when the
+        data graph is SQL-backed, else ``None`` (the watchdog and the
+        readiness probe use this to interrupt / integrity-check it)."""
+        return getattr(self.data_graph, "_store", None)
+
+    def db_integrity(self, max_age_s: float = 30.0) -> bool:
+        """Cached ``PRAGMA quick_check`` verdict for the readiness probe.
+
+        Memory-backed graphs are always sound.  The check is re-run at
+        most every ``max_age_s`` seconds so ``/readyz`` polling stays
+        cheap.
+        """
+        store = self.sql_store()
+        if store is None:
+            return True
+        now = time.monotonic()
+        cached = self._integrity_cache
+        if cached is not None and now - cached[0] < max_age_s:
+            return cached[1]
+        verdict = not store.integrity_check()
+        self._integrity_cache = (now, verdict)
+        return verdict
+
+    def inflight(self) -> List[Dict[str, object]]:
+        """The watchdog's view: one record per worker with a request
+        currently in flight (dynamic renders only -- static lookups are
+        too fast to observe)."""
+        now = time.monotonic()
+        with self._slots_lock:
+            slots = list(self._slots.items())
+        out: List[Dict[str, object]] = []
+        for worker_id, slot in slots:
+            path = slot.inflight_path
+            if path is None:
+                continue
+            deadline = slot.inflight_deadline
+            out.append(
+                {
+                    "worker": worker_id,
+                    "path": path,
+                    "since": slot.inflight_since,
+                    "elapsed_s": now - slot.inflight_since,
+                    "budget_s": deadline.budget if deadline is not None else None,
+                }
+            )
         return out

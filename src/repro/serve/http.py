@@ -16,7 +16,22 @@ HTTP semantics of degradation:
 * ``500`` for render faults with no stale copy (a structured error
   page, never a traceback);
 * ``503`` with ``Retry-After`` when admission control sheds load, sent
-  without occupying a worker.
+  without occupying a worker;
+* ``504`` when a request's :class:`~repro.resilience.Deadline` expires
+  mid-render -- a structured timeout page, never a traceback.
+
+Deadlines are stamped at *admission*: ``process_request`` creates the
+budget when the connection enters the worker queue, so queue wait
+counts against it, and the worker installs it as the ambient deadline
+every evaluation layer ticks against.  Keep-alive connections re-arm a
+fresh budget per request (the worker would otherwise be pinned to one
+slow client's clock) and are bounded by an idle timeout plus a
+max-requests-per-connection cap so no worker is held hostage by an
+idle or chatty client.
+
+``/healthz`` answers liveness (workers running), ``/readyz`` answers
+readiness (generation fresh, refresher breaker closed, queue bounded,
+database integrity) with a 503 when not ready.
 
 Every response carries ``X-Strudel-Generation`` so clients (and the
 torn-mix property test) can see exactly which snapshot answered.
@@ -34,9 +49,11 @@ from http.server import BaseHTTPRequestHandler
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
+from ..resilience.deadline import Deadline, install_deadline
 from .admission import AdmissionControl
 from .core import ServeCore
 from .refresher import EditTicket, Refresher
+from .watchdog import Watchdog
 
 _SHED_BODY = b"<html><body><h1>503 Service Unavailable</h1></body></html>\n"
 _SHED_RESPONSE = (
@@ -61,8 +78,34 @@ class ServeHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
     wbufsize = 64 * 1024
 
+    def handle(self) -> None:
+        """Keep-alive loop with an idle timeout.
+
+        The stdlib loops ``handle_one_request`` until
+        ``close_connection``, blocking on the request line under the
+        *request* timeout -- so one idle keep-alive client pins a pool
+        worker for the full request budget between every request.
+        Here, the wait for each subsequent request line runs under the
+        much shorter ``idle_timeout`` (``handle_one_request`` turns the
+        ``TimeoutError`` into a clean close); ``do_GET`` restores the
+        request timeout once a request line actually arrives.
+        """
+        server: "PooledHTTPServer" = self.server  # type: ignore[assignment]
+        self.requests_served = 0
+        self.close_connection = True
+        self.handle_one_request()
+        while not self.close_connection:
+            self.connection.settimeout(server.idle_timeout)
+            self.handle_one_request()
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         server: "PooledHTTPServer" = self.server  # type: ignore[assignment]
+        self.connection.settimeout(server.request_timeout)
+        self.requests_served = getattr(self, "requests_served", 0) + 1
+        if self.requests_served > 1 and server.deadline_budget is not None:
+            # the admission-stamped deadline covered queue wait plus the
+            # first request; each later keep-alive request gets a fresh one
+            install_deadline(Deadline(server.deadline_budget))
         path = urlsplit(self.path).path or "/"
         if path == "/_stats":
             self._send_json(server.stats())
@@ -72,6 +115,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         if path == "/_health":
             self._send_json({"ok": True})
+            return
+        if path == "/healthz":
+            self._send_json(server.health())
+            return
+        if path == "/readyz":
+            ready, detail = server.readiness()
+            self._send_json(detail, status=200 if ready else 503)
             return
         entry, generation = server.core.handle(path, worker_id=self._worker_id())
         body = entry.body
@@ -83,17 +133,26 @@ class ServeHandler(BaseHTTPRequestHandler):
             self.send_header("X-Strudel-Degraded", entry.kind)
         elif generation.stale:
             self.send_header("X-Strudel-Degraded", "stale-generation")
-        if server.draining:
+        if self._should_close(server):
             self.close_connection = True
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, payload: object) -> None:
+    def _should_close(self, server: "PooledHTTPServer") -> bool:
+        return server.draining or (
+            getattr(self, "requests_served", 0) >= server.max_requests_per_connection
+        )
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        server: "PooledHTTPServer" = self.server  # type: ignore[assignment]
         body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode()
-        self.send_response(200)
+        self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._should_close(server):
+            self.close_connection = True
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -119,17 +178,25 @@ class PooledHTTPServer(socketserver.TCPServer):
         workers: int = 4,
         admission_limit: Optional[int] = 64,
         request_timeout: float = 10.0,
+        deadline_budget: Optional[float] = 5.0,
+        idle_timeout: float = 5.0,
+        max_requests_per_connection: int = 100,
     ) -> None:
         super().__init__(address, ServeHandler)
         self.core = core
         self.workers = max(1, workers)
         self.admission = AdmissionControl(admission_limit)
         self.request_timeout = request_timeout
+        #: per-request evaluation budget; None disables deadlines
+        self.deadline_budget = deadline_budget
+        self.idle_timeout = idle_timeout
+        self.max_requests_per_connection = max(1, max_requests_per_connection)
         self.local = threading.local()
         self.draining = False
         self.started_at = time.time()
         self.refresher: Optional[Refresher] = None
-        self._tasks: "queue.Queue[Optional[Tuple[socket.socket, object]]]" = (
+        self.watchdog: Optional[Watchdog] = None
+        self._tasks: "queue.Queue[Optional[Tuple[socket.socket, object, Optional[Deadline]]]]" = (
             queue.Queue()
         )
         self._worker_threads: List[threading.Thread] = []
@@ -139,11 +206,16 @@ class PooledHTTPServer(socketserver.TCPServer):
 
     def process_request(self, request, client_address) -> None:
         """Admit into the worker queue, or shed with a canned 503
-        without ever occupying a worker."""
+        without ever occupying a worker.  Admitted connections are
+        stamped with their deadline *here*, so time spent waiting in
+        the queue counts against the budget."""
         if self.draining or not self.admission.try_acquire():
             self._shed(request)
             return
-        self._tasks.put((request, client_address))
+        deadline = (
+            Deadline(self.deadline_budget) if self.deadline_budget is not None else None
+        )
+        self._tasks.put((request, client_address, deadline))
 
     def _shed(self, request) -> None:
         try:
@@ -172,13 +244,15 @@ class PooledHTTPServer(socketserver.TCPServer):
             item = self._tasks.get()
             if item is None:
                 return
-            request, client_address = item
+            request, client_address, deadline = item
             try:
                 request.settimeout(self.request_timeout)
+                install_deadline(deadline)
                 self.finish_request(request, client_address)
             except Exception:  # connection-level failure: drop, keep serving
                 pass
             finally:
+                install_deadline(None)
                 self.shutdown_request(request)
                 self.admission.release()
 
@@ -196,6 +270,49 @@ class PooledHTTPServer(socketserver.TCPServer):
         return clean
 
     # ------------------------------------------------------------ #
+    # health surface
+
+    def health(self) -> Dict[str, object]:
+        """Liveness: is the process able to take work at all?"""
+        workers_alive = sum(1 for t in self._worker_threads if t.is_alive())
+        return {
+            "ok": workers_alive > 0,
+            "workers_alive": workers_alive,
+            "workers": self.workers,
+            "queue_depth": self._tasks.qsize(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    def readiness(self) -> Tuple[bool, Dict[str, object]]:
+        """Readiness: should a load balancer route traffic here *now*?
+
+        Unlike liveness this goes false-and-back: while draining, while
+        the refresher breaker is open (edits failing -- we may be
+        serving stale), while the queue is badly backed up, or when the
+        backing database fails its integrity check.
+        """
+        generation = self.core.cache.current()
+        queue_bound = self.workers * 8
+        checks: Dict[str, bool] = {
+            "not_draining": not self.draining,
+            "workers_alive": all(t.is_alive() for t in self._worker_threads),
+            "generation_fresh": not generation.stale,
+            "queue_bounded": self._tasks.qsize() <= queue_bound,
+            "db_integrity": self.core.db_integrity(),
+        }
+        if self.refresher is not None:
+            checks["refresher_breaker_closed"] = (
+                self.refresher.breaker.state.value != "open"
+            )
+        ready = all(checks.values())
+        detail: Dict[str, object] = {
+            "ready": ready,
+            "checks": checks,
+            "generation": generation.gen_id,
+        }
+        return ready, detail
+
+    # ------------------------------------------------------------ #
 
     def stats(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -203,11 +320,14 @@ class PooledHTTPServer(socketserver.TCPServer):
             "workers": self.workers,
             "queue_depth": self._tasks.qsize(),
             "draining": self.draining,
+            "deadline_budget_s": self.deadline_budget,
             "admission": self.admission.stats(),
             "core": self.core.stats(),
         }
         if self.refresher is not None:
             payload["refresher"] = self.refresher.stats()
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog.stats()
         return payload
 
 
@@ -222,7 +342,11 @@ class SiteServer:
         workers: int = 4,
         admission_limit: Optional[int] = 64,
         request_timeout: float = 10.0,
+        deadline_budget: Optional[float] = 5.0,
+        idle_timeout: float = 5.0,
+        max_requests_per_connection: int = 100,
         with_refresher: bool = True,
+        with_watchdog: bool = True,
     ) -> None:
         self.core = core
         self.httpd = PooledHTTPServer(
@@ -231,9 +355,14 @@ class SiteServer:
             workers=workers,
             admission_limit=admission_limit,
             request_timeout=request_timeout,
+            deadline_budget=deadline_budget,
+            idle_timeout=idle_timeout,
+            max_requests_per_connection=max_requests_per_connection,
         )
         self.refresher = Refresher(core) if with_refresher else None
         self.httpd.refresher = self.refresher
+        self.watchdog = Watchdog(core) if with_watchdog else None
+        self.httpd.watchdog = self.watchdog
         self._accept_thread: Optional[threading.Thread] = None
         self._started = False
 
@@ -257,6 +386,8 @@ class SiteServer:
         self.httpd.start_workers()
         if self.refresher is not None:
             self.refresher.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
         self._accept_thread = threading.Thread(
             target=self.httpd.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -274,7 +405,13 @@ class SiteServer:
 
     def stop(self, timeout: float = 10.0) -> bool:
         """Graceful shutdown: stop accepting, serve what is queued,
-        drain in-flight requests, then stop the refresher."""
+        drain in-flight requests, then stop the refresher and watchdog.
+
+        Returns True only when *every* stage came down cleanly --
+        workers drained, refresher joined, watchdog joined -- so
+        callers (``repro serve``) can turn an unclean drain into a
+        nonzero exit status.
+        """
         if not self._started:
             return True
         self.httpd.shutdown()  # stop the accept loop
@@ -282,7 +419,9 @@ class SiteServer:
             self._accept_thread.join(timeout)
         clean = self.httpd.drain_workers(timeout)
         if self.refresher is not None:
-            self.refresher.stop(timeout)
+            clean = self.refresher.stop(timeout) and clean
+        if self.watchdog is not None:
+            clean = self.watchdog.stop(timeout) and clean
         self.httpd.server_close()
         self._started = False
         return clean

@@ -110,10 +110,14 @@ class Refresher(threading.Thread):
                     self._propagation_s.append(ticket.propagation_s)
             ticket.done.set()
 
-    def stop(self, timeout: Optional[float] = 10.0) -> None:
+    def stop(self, timeout: Optional[float] = 10.0) -> bool:
+        """Signal and join; True when the thread exited in time (an
+        unclean refresher is folded into ``SiteServer.stop``'s verdict
+        and from there into ``repro serve``'s exit status)."""
         self.queue.put(_STOP)
         if self.is_alive():
             self.join(timeout)
+        return not self.is_alive()
 
     # ------------------------------------------------------------ #
 

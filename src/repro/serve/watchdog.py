@@ -1,0 +1,111 @@
+"""The serving watchdog: detect workers a deadline failed to free.
+
+Cooperative cancellation has a blind spot: a worker stuck inside a
+single long C call (one giant SQL statement arming no progress
+handler, a pathological regex) never reaches a tick.  The watchdog is
+the backstop -- a daemon thread that scans each worker's in-flight
+record (:meth:`~repro.serve.core.ServeCore.inflight`) every
+``interval`` seconds and *flags* any request that has been running
+longer than ``stuck_factor`` times its budget:
+
+* the flag is counted (``watchdog_flags`` in ``/_stats`` and
+  ``repro stats --serve``);
+* a slow-query report (path, elapsed, budget, in-flight snapshot) is
+  recorded into the process-wide ledger the
+  :class:`~repro.resilience.ResilienceReport` collects;
+* when the core is SQL-backed, the store connection is interrupted
+  (:meth:`~repro.repository.sql.SqlStore.interrupt`), aborting
+  whatever statement the stuck worker is inside -- it surfaces there
+  as :class:`~repro.errors.DeadlineExceeded` and becomes a 504.
+
+Each in-flight request is flagged at most once (keyed by its worker +
+start stamp), so a worker stuck for ten scans produces one flag, not
+ten.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+from ..resilience.report import record_slow_query
+from .core import ServeCore
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog(threading.Thread):
+    """One daemon thread scanning worker slots for stuck requests."""
+
+    def __init__(
+        self,
+        core: ServeCore,
+        interval: float = 0.25,
+        stuck_factor: float = 2.0,
+        default_budget: float = 10.0,
+    ) -> None:
+        super().__init__(name="repro-serve-watchdog", daemon=True)
+        self.core = core
+        self.interval = interval
+        self.stuck_factor = stuck_factor
+        #: budget assumed for requests served without a deadline
+        self.default_budget = default_budget
+        self.flags = 0
+        self.sql_interrupts_sent = 0
+        self._stop_event = threading.Event()
+        #: (worker, start stamp) pairs already flagged
+        self._flagged: Set[Tuple[int, float]] = set()
+
+    # ------------------------------------------------------------ #
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.scan()
+
+    def scan(self) -> int:
+        """One sweep; returns how many requests were newly flagged."""
+        inflight = self.core.inflight()
+        live_keys = set()
+        newly_flagged = 0
+        for record in inflight:
+            key = (record["worker"], record["since"])
+            live_keys.add(key)
+            budget = record["budget_s"] or self.default_budget
+            if record["elapsed_s"] <= self.stuck_factor * budget:
+                continue
+            if key in self._flagged:
+                continue
+            self._flagged.add(key)
+            self.flags += 1
+            newly_flagged += 1
+            record_slow_query(
+                str(record["path"]),
+                float(record["elapsed_s"]),
+                float(budget),
+                site=f"watchdog.worker-{record['worker']}",
+                kind="watchdog",
+            )
+            store = self.core.sql_store()
+            if store is not None:
+                # break whatever statement the stuck worker is inside;
+                # it surfaces as DeadlineExceeded -> structured 504
+                store.interrupt()
+                self.sql_interrupts_sent += 1
+        # forget requests that finished so the set stays bounded
+        self._flagged &= live_keys
+        return newly_flagged
+
+    def stop(self, timeout: Optional[float] = 5.0) -> bool:
+        """Signal and join; True when the thread exited in time."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout)
+        return not self.is_alive()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "interval_s": self.interval,
+            "stuck_factor": self.stuck_factor,
+            "watchdog_flags": self.flags,
+            "sql_interrupts_sent": self.sql_interrupts_sent,
+        }

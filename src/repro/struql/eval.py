@@ -62,6 +62,7 @@ from ..graph import (
 )
 from ..repository.indexes import IndexStatistics, graph_statistics
 from ..resilience.chaos import maybe_fail
+from ..resilience.deadline import current_deadline
 from . import builtins
 from .ast import (
     CollectClause,
@@ -436,6 +437,9 @@ class QueryEngine:
         is the single empty binding.  The result is deduplicated.
         """
         maybe_fail("engine.bindings")
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("engine.bindings")
         initial_rows: List[Binding] = [
             dict(b) for b in (initial if initial is not None else [{}])
         ]
@@ -457,9 +461,15 @@ class QueryEngine:
         else:
             for condition in ordered:
                 self.metrics.conditions_evaluated += 1
+                if deadline is not None:
+                    deadline.check("engine.condition")
                 next_rows: List[Row] = []
                 extend = self._extend
+                ticks = 0
                 for row in rows:
+                    ticks += 1
+                    if not (ticks & 1023) and deadline is not None:
+                        deadline.check("engine.rows")
                     next_rows.extend(extend(condition, row, conditions, frame))
                 rows = next_rows
                 if not rows:
@@ -486,9 +496,12 @@ class QueryEngine:
         collapses -- once per distinct bound key instead of once per
         row.  Per-operator row counts land in ``last_operator_stats``."""
         metrics = self.metrics
+        deadline = current_deadline()
         ops: List[OperatorStats] = []
         for condition in ordered:
             metrics.conditions_evaluated += 1
+            if deadline is not None:
+                deadline.check("engine.block")
             rows_in = len(rows)
             probes_before = metrics.hash_join_probes
             dedup_before = metrics.dedup_hits
@@ -917,7 +930,12 @@ class QueryEngine:
         members: Optional[List[Target]] = None
         verdicts: Dict[object, bool] = {}
         out: List[Row] = []
+        deadline = current_deadline()
+        ticks = 0
         for row in rows:
+            ticks += 1
+            if not (ticks & 1023) and deadline is not None:
+                deadline.check("block.collection")
             value = row[index]
             if value is _UNSET:
                 if footprint is not None:
@@ -929,6 +947,9 @@ class QueryEngine:
                     metrics.dedup_hits += 1
                 prefix, suffix = row[:index], row[index + 1:]
                 for member in members:
+                    ticks += 1
+                    if not (ticks & 1023) and deadline is not None:
+                        deadline.check("block.collection")
                     out.append(prefix + (member,) + suffix)
                 continue
             if footprint is not None and isinstance(value, Oid):
@@ -974,7 +995,12 @@ class QueryEngine:
         # sharing a key also shares its write mask
         cache: Dict[Tuple[object, object, object], List[Tuple[Oid, str, Target]]] = {}
         out: List[Row] = []
+        deadline = current_deadline()
+        ticks = 0
         for row in rows:
+            ticks += 1
+            if not (ticks & 1023) and deadline is not None:
+                deadline.check("block.edge")
             if arc_index is not None:
                 bound_label = row[arc_index]
                 if bound_label is _UNSET:
@@ -1022,6 +1048,9 @@ class QueryEngine:
             # serves every match of this row
             new = list(row)
             for source, label, edge_target in matches:
+                ticks += 1
+                if not (ticks & 1023) and deadline is not None:
+                    deadline.check("block.edge")
                 if set_source:
                     new[source_index] = source
                 if label_unbound:
@@ -1042,6 +1071,12 @@ class QueryEngine:
         the order the row-at-a-time probe yields them."""
         graph = self.graph
         metrics = self.metrics
+        # one clock read per distinct probe: each probe scans at most the
+        # whole edge relation, so the gap between checks stays bounded by
+        # one scan without per-edge overhead in these hot loops
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("engine.edge-probe")
         matches: List[Tuple[Oid, str, Target]] = []
         if not self.use_indexes:
             for source, label, edge_target in graph.edges():
@@ -1265,7 +1300,12 @@ class QueryEngine:
                 probe_lists[value] = cached
             return cached
 
+        deadline = current_deadline()
+        ticks = 0
         for row in rows:
+            ticks += 1
+            if not (ticks & 1023) and deadline is not None:
+                deadline.check("block.path")
             source_value = row[source_index]
             if source_value is _UNSET:
                 source_value = None
@@ -1367,6 +1407,9 @@ class QueryEngine:
         tv_sources: Dict[Value, Tuple[Oid, ...]] = {}
         out: List[Row] = []
         for row, (source_value, target_value) in zip(rows, resolved):
+            ticks += 1
+            if not (ticks & 1023) and deadline is not None:
+                deadline.check("block.path")
             if source_value is not None:
                 if not isinstance(source_value, Oid) or not graph.has_node(source_value):
                     continue
@@ -1389,6 +1432,9 @@ class QueryEngine:
                 assert target_slot is not None
                 prefix, suffix = row[:target_slot], row[target_slot + 1:]
                 for reached in forward_map[source_value]:
+                    ticks += 1
+                    if not (ticks & 1023) and deadline is not None:
+                        deadline.check("block.path")
                     out.append(prefix + (reached,) + suffix)
                 continue
             if target_value is not None:
@@ -1408,11 +1454,17 @@ class QueryEngine:
                     tv_sources[target_value] = sources
                 prefix, suffix = row[:source_index], row[source_index + 1:]
                 for source in sources:
+                    ticks += 1
+                    if not (ticks & 1023) and deadline is not None:
+                        deadline.check("block.path")
                     out.append(prefix + (source,) + suffix)
                 continue
             assert target_slot is not None
             for source in all_nodes:
                 for reached in forward_map[source]:
+                    ticks += 1
+                    if not (ticks & 1023) and deadline is not None:
+                        deadline.check("block.path")
                     new = list(row)
                     new[source_index] = source
                     new[target_slot] = reached

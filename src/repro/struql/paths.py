@@ -50,6 +50,7 @@ from typing import (
 
 from ..errors import StruqlEvaluationError
 from ..graph import Graph, Oid, Target
+from ..resilience.deadline import current_deadline
 from . import builtins
 from .ast import Alternation, AnyLabel, Concat, LabelIs, LabelPredicate, PathExpr, Star
 
@@ -238,7 +239,10 @@ def targets_from(graph: Graph, nfa: NFA, source: Oid) -> List[Target]:
     queue: deque = deque([(source, start_states)])
     if nfa.accepts_in(start_states):
         results[source] = None
+    deadline = current_deadline()
     while queue:
+        if deadline is not None:
+            deadline.tick("paths.targets_from")
         obj, states = queue.popleft()
         if not isinstance(obj, Oid):
             continue
@@ -268,7 +272,10 @@ def sources_to(graph: Graph, reversed_nfa: NFA, target: Target) -> List[Oid]:
     queue: deque = deque([(target, start_states)])
     if reversed_nfa.accepts_in(start_states) and isinstance(target, Oid):
         results[target] = None
+    deadline = current_deadline()
     while queue:
+        if deadline is not None:
+            deadline.tick("paths.sources_to")
         obj, states = queue.popleft()
         for source, label in graph.in_edges(obj):
             next_states = reversed_nfa.step(states, label)
@@ -315,7 +322,10 @@ def targets_from_many(
         if starts_accepting:
             found[source] = None
     step = nfa.step
+    deadline = current_deadline()
     while queue:
+        if deadline is not None:
+            deadline.tick("paths.targets_from_many")
         origin, obj, states = queue.popleft()
         if not isinstance(obj, Oid):
             continue
@@ -360,7 +370,10 @@ def sources_to_many(
         if starts_accepting and isinstance(target, Oid):
             found[target] = None
     step = reversed_nfa.step
+    deadline = current_deadline()
     while queue:
+        if deadline is not None:
+            deadline.tick("paths.sources_to_many")
         origin, obj, states = queue.popleft()
         for source, label in graph.in_edges(obj):
             step_key = (states, label)
@@ -390,7 +403,10 @@ def path_exists(graph: Graph, nfa: NFA, source: Oid, target: Target) -> bool:
         return True
     visited: Set[Tuple[Target, FrozenSet[int]]] = {(source, start_states)}
     queue: deque = deque([(source, start_states)])
+    deadline = current_deadline()
     while queue:
+        if deadline is not None:
+            deadline.tick("paths.path_exists")
         obj, states = queue.popleft()
         if not isinstance(obj, Oid):
             continue

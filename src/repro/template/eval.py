@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TemplateEvaluationError
 from ..graph import Atom, AtomType, Graph, Oid, Target, atoms_equal, compare_atoms
+from ..resilience.deadline import current_deadline
 from .ast import (
     AttrExpr,
     Conditional,
@@ -90,7 +91,10 @@ class Renderer:
         embed_stack: Tuple[Oid, ...],
     ) -> str:
         pieces: List[str] = []
+        deadline = current_deadline()
         for node in nodes:
+            if deadline is not None:
+                deadline.tick("template.render")
             if isinstance(node, Literal):
                 pieces.append(node.text)
             elif isinstance(node, Format):

@@ -20,6 +20,7 @@ from repro.repository.indexes import (
     graph_statistics,
     statistics_refresh_counters,
 )
+from repro.resilience.retry import BreakerState, CircuitBreaker, ManualClock
 from repro.serve import AdmissionControl, Generation, PageEntry
 from repro.serve.core import WorkerMetrics
 from repro.serve.locks import RWLock
@@ -215,3 +216,75 @@ class TestServeSharedState:
         _hammer(worker, threads=6, rounds=200)
         assert state["torn"] == 0
         assert state["value"] == 2 * 200
+
+
+class TestCircuitBreakerConcurrency:
+    """The breaker is shared by every serving thread; its transitions
+    must hold up under contention."""
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """When the reset timeout elapses and 8 threads race into
+        ``allow()``, exactly one is admitted as the half-open probe;
+        the rest stay rejected until the probe reports back."""
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            "hammer", failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)  # breaker is now eligible for one probe
+
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def _race(index):
+            barrier.wait(timeout=10)
+            if breaker.allow():
+                admitted.append(index)
+
+        pool = [threading.Thread(target=_race, args=(i,)) for i in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+        # probe still in flight: nobody else gets in
+        assert not breaker.allow()
+        # probe succeeds: circuit closes, traffic flows again
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_next_window_reprobes(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            "hammer", failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        breaker.record_failure()  # probe fails: re-open
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # a fresh probe next window
+
+    def test_counters_consistent_under_hammer(self):
+        """Mixed allow/success/failure traffic from 8 threads must keep
+        the lifetime counters coherent (no lost increments) and leave
+        the breaker in a valid state."""
+        breaker = CircuitBreaker("hammer", failure_threshold=3, reset_timeout=0.0)
+
+        def worker(index, round_index):
+            if breaker.allow():
+                if (index + round_index) % 3 == 0:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+        _hammer(worker, threads=8, rounds=200)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] in ("closed", "open", "half-open")
+        assert snapshot["total_failures"] <= 8 * 200
+        assert snapshot["times_opened"] <= snapshot["total_failures"]
